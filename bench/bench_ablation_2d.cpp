@@ -1,0 +1,86 @@
+/// Future-work ablation: 1-D vs 2-D partitioning communication volume.
+///
+/// The paper's related-work section notes that its sharing/parallel-
+/// allgather machinery is orthogonal to Buluc & Madduri's 2-D partitioning
+/// and could be applied on top. This bench quantifies, on the calibrated
+/// model, the communication volumes and times of:
+///   - 1-D: allgather of the full frontier bitmap over all np ranks
+///     (volume m*(np-1), Eq. (1));
+///   - 2-D (r x c grid): an allgather along each processor column (frontier
+///     slices, volume m*(r-1) per column) plus an alltoall-style reduce
+///     along rows for the discovered updates (~m per row on dense levels).
+/// Shape expectation: 2-D's volume advantage grows with np — but the
+/// paper's sharing optimizations attack the same term and compose with it.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "runtime/coll_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numabfs;
+  namespace cm = rt::coll_model;
+  harness::Options opt(argc, argv);
+  const int scale = opt.get_int("scale", 30);
+
+  bench::print_header("Ablation (future work)",
+                      "1-D vs 2-D partitioning: modeled comm per level",
+                      "scale " + std::to_string(scale) +
+                          " frontier bitmap; ppn=8, square-ish grids");
+
+  const std::uint64_t m = (1ull << scale) / 8;  // frontier bitmap bytes
+
+  harness::Table t(
+      {"nodes", "np", "1-D volume", "2-D volume", "1-D time", "2-D time"});
+  for (int nodes : {4, 16, 64}) {
+    rt::Cluster c(sim::Topology::xeon_x7550_cluster(nodes), sim::CostParams{},
+                  8);
+    const int np = c.nranks();
+    // Square-ish grid: r*cn = np.
+    int r = 1;
+    while ((r << 1) * (r << 1) <= np) r <<= 1;
+    const int cn = np / r;
+
+    const std::uint64_t v1 = cm::allgather_volume_bytes(m, np);
+    // 2-D: column allgathers move m*(r-1)/... each of cn columns allgathers
+    // its m/cn slice over r members; row exchange moves ~m/r per row pair.
+    const std::uint64_t v2 =
+        static_cast<std::uint64_t>(cn) *
+            cm::allgather_volume_bytes(m / static_cast<std::uint64_t>(cn), r) +
+        static_cast<std::uint64_t>(r) *
+            cm::allgather_volume_bytes(m / static_cast<std::uint64_t>(r), cn) /
+            2;
+
+    // Times on the model: 1-D = the paper's optimized plan (share-all +
+    // parallel subgroups); 2-D = ring allgather inside each column (all
+    // columns concurrent, so ppn flows share each NIC), then a half-volume
+    // row exchange for the discovered updates.
+    const std::uint64_t chunk = m / static_cast<std::uint64_t>(np);
+    const double t1 =
+        cm::leader_allgather(c, chunk, false, false, 8).total_ns;
+    const auto& cp = c.params();
+    const double flow_bw = c.link().nic_flow_bw(8);
+    const auto ring = [&](int members, std::uint64_t bytes_per_step) {
+      return members > 1 ? (members - 1) *
+                               (cp.nic_msg_latency_ns +
+                                static_cast<double>(bytes_per_step) / flow_bw)
+                         : 0.0;
+    };
+    const double col =
+        ring(r, m / static_cast<std::uint64_t>(cn) /
+                    static_cast<std::uint64_t>(r));
+    const double row = 0.5 * ring(cn, m / static_cast<std::uint64_t>(r) /
+                                          static_cast<std::uint64_t>(cn));
+    t.row({std::to_string(nodes), std::to_string(np),
+           harness::Table::fmt(static_cast<double>(v1) / (1 << 20), 0) + " MB",
+           harness::Table::fmt(static_cast<double>(v2) / (1 << 20), 0) + " MB",
+           harness::Table::ms(t1, 1), harness::Table::ms(col + row, 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n2-D cuts the replicated-frontier volume from O(np) to"
+               " O(sqrt(np)) copies; the paper's sharing + parallel"
+               " allgather attack the constant factor and compose with it\n";
+  return 0;
+}

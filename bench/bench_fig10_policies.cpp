@@ -1,0 +1,59 @@
+/// Regenerates Fig. 10: performance of the "Original" implementation under
+/// the execution policies (noflag / interleave / bind-to-socket x ppn) on a
+/// single eight-socket node.
+///
+/// Paper shape: ppn=8.bind-to-socket wins — 1.74x over ppn=1.interleave and
+/// 2.08x over ppn=8.noflag; ppn=1.interleave beats ppn=1.noflag.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numabfs;
+  harness::Options opt(argc, argv);
+  const int scale = opt.get_int("scale", 17);
+  const int roots = opt.get_int("roots", 8);
+
+  bench::print_header("Fig. 10", "Execution policies on one node",
+                      "scale " + std::to_string(scale) + ", " +
+                          std::to_string(roots) + " roots (paper: scale 28)");
+
+  const harness::GraphBundle bundle =
+      harness::GraphBundle::make(scale, 16, opt.get_u64("seed", 20120924));
+
+  struct Row {
+    const char* name;
+    int ppn;
+    bfs::BindMode bind;
+  };
+  const Row rows[] = {
+      {"ppn=1.noflag", 1, bfs::BindMode::noflag},
+      {"ppn=1.interleave", 1, bfs::BindMode::interleave},
+      {"ppn=8.noflag", 8, bfs::BindMode::noflag},
+      {"ppn=8.interleave", 8, bfs::BindMode::interleave},
+      {"ppn=8.bind-to-socket", 8, bfs::BindMode::bind_to_socket},
+  };
+
+  harness::Table t({"policy", "TEPS", "vs ppn=1.interleave"});
+  double baseline = 0;
+  std::vector<double> teps;
+  for (const Row& r : rows) {
+    harness::ExperimentOptions eo;
+    eo.nodes = 1;
+    eo.ppn = r.ppn;
+    harness::Experiment e(bundle, eo);
+    bfs::Config cfg;
+    cfg.bind = r.bind;
+    const harness::EvalResult res = e.run(cfg, roots);
+    teps.push_back(res.harmonic_teps);
+    if (std::string(r.name) == "ppn=1.interleave") baseline = res.harmonic_teps;
+  }
+  for (size_t i = 0; i < std::size(rows); ++i)
+    t.row({rows[i].name, harness::Table::gteps(teps[i]),
+           harness::Table::fmt(teps[i] / baseline, 2) + "x"});
+  t.print(std::cout);
+
+  std::cout << "\npaper: bind-to-socket = 1.74x interleave, 2.08x ppn=8.noflag\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// Regenerates Fig. 11: execution-time breakdown of the "Original"
+/// implementation on a single node — ppn=1.interleave vs
+/// ppn=8.bind-to-socket — and the per-phase computation speedup.
+///
+/// Paper shape: binding greatly speeds up both computation phases
+/// (bottom-up computation by 1.58x), while the communication phases get
+/// *more* expensive (eight processes allgather instead of one).
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numabfs;
+  harness::Options opt(argc, argv);
+  const int scale = opt.get_int("scale", 17);
+  const int roots = opt.get_int("roots", 8);
+
+  bench::print_header("Fig. 11", "Phase breakdown on one node",
+                      "scale " + std::to_string(scale) + ", " +
+                          std::to_string(roots) + " roots (paper: scale 28)");
+
+  const harness::GraphBundle bundle =
+      harness::GraphBundle::make(scale, 16, opt.get_u64("seed", 20120924));
+
+  const auto eval = [&](int ppn, bfs::BindMode bind) {
+    harness::ExperimentOptions eo;
+    eo.nodes = 1;
+    eo.ppn = ppn;
+    harness::Experiment e(bundle, eo);
+    bfs::Config cfg;
+    cfg.bind = bind;
+    return e.run(cfg, roots);
+  };
+
+  const harness::EvalResult a = eval(1, bfs::BindMode::interleave);
+  const harness::EvalResult b = eval(8, bfs::BindMode::bind_to_socket);
+
+  const sim::Phase phases[] = {sim::Phase::td_comp, sim::Phase::td_comm,
+                               sim::Phase::bu_comp, sim::Phase::bu_comm,
+                               sim::Phase::switch_conv, sim::Phase::stall,
+                               sim::Phase::other};
+
+  harness::Table t({"phase", "ppn=1.interleave", "ppn=8.bind", "speedup"});
+  for (sim::Phase ph : phases) {
+    const double ta = a.profile.get(ph);
+    const double tb = b.profile.get(ph);
+    if (ta <= 0 && tb <= 0) continue;
+    t.row({sim::to_string(ph), harness::Table::ms(ta), harness::Table::ms(tb),
+           tb > 0 ? harness::Table::fmt(ta / tb, 2) + "x" : "-"});
+  }
+  t.row({"TOTAL", harness::Table::ms(a.profile.total_ns()),
+         harness::Table::ms(b.profile.total_ns()),
+         harness::Table::fmt(a.profile.total_ns() / b.profile.total_ns(), 2) +
+             "x"});
+  t.print(std::cout);
+
+  std::cout << "\npaper: bottom-up computation speedup 1.58x; both "
+               "computation phases speed up, communication slows down\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// Regenerates Fig. 12: communication cost of the "Original" implementation
+/// when weak scaling 1 -> 8 nodes (scale grows with the node count):
+/// absolute time per bottom-up communication phase for ppn=1.interleave and
+/// ppn=8.bind-to-socket, plus ppn=8's bottom-up-communication share of the
+/// total execution time.
+///
+/// Paper shape: per-phase comm cost grows steeply under weak scaling;
+/// ppn=8 pays ~2.34x ppn=1 at 8 nodes; the comm share grows 12% -> 54%.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numabfs;
+  harness::Options opt(argc, argv);
+  const int base_scale = opt.get_int("base-scale", 16);
+  const int roots = opt.get_int("roots", 4);
+
+  bench::print_header(
+      "Fig. 12", "Communication cost under weak scaling (Original)",
+      "scale " + std::to_string(base_scale) + "+log2(nodes), " +
+          std::to_string(roots) + " roots (paper: scale 28+log2(nodes))");
+
+  harness::Table t({"nodes", "scale", "ppn=1 comm/phase", "ppn=8 comm/phase",
+                    "ratio", "ppn=8 bu-comm share"});
+
+  double ratio_at_8 = 0, share_at_8 = 0;
+  for (int nodes : {1, 2, 4, 8}) {
+    const int scale = base_scale + std::countr_zero(static_cast<unsigned>(nodes));
+    const harness::GraphBundle bundle =
+        harness::GraphBundle::make(scale, 16, opt.get_u64("seed", 20120924));
+
+    harness::ExperimentOptions eo1;
+    eo1.nodes = nodes;
+    eo1.ppn = 1;
+    harness::Experiment e1(bundle, eo1);
+    const harness::EvalResult r1 = e1.run(bench::ppn1_interleave(), roots);
+
+    harness::ExperimentOptions eo8;
+    eo8.nodes = nodes;
+    eo8.ppn = 8;
+    harness::Experiment e8(bundle, eo8);
+    const harness::EvalResult r8 = e8.run(bfs::original(), roots);
+
+    const double ratio = r1.avg_bu_comm_phase_ns > 0
+                             ? r8.avg_bu_comm_phase_ns / r1.avg_bu_comm_phase_ns
+                             : 0;
+    t.row({std::to_string(nodes), std::to_string(scale),
+           harness::Table::ms(r1.avg_bu_comm_phase_ns, 3),
+           harness::Table::ms(r8.avg_bu_comm_phase_ns, 3),
+           harness::Table::fmt(ratio, 2) + "x",
+           harness::Table::pct(r8.bu_comm_fraction)});
+    if (nodes == 8) {
+      ratio_at_8 = ratio;
+      share_at_8 = r8.bu_comm_fraction;
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nmeasured at 8 nodes: ppn=8/ppn=1 comm ratio = "
+            << harness::Table::fmt(ratio_at_8, 2) << "x, bu-comm share = "
+            << harness::Table::pct(share_at_8)
+            << "\npaper: ratio 2.34x; share grows 12% (1 node) -> 54% (8 nodes)\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// Regenerates Fig. 16: performance of different granularities for
+/// in_queue_summary on 16 nodes (on top of "+ Par allgather").
+///
+/// Paper shape: granularity 256 peaks (+10.2% over 64); very large
+/// granularities fall below 64 because the summary loses its zeros.
+/// The zero-skip rate printed per row is *measured* from the kernels.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "harness/svg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numabfs;
+  harness::Options opt(argc, argv);
+  const int scale = opt.get_int("scale", 20);
+  const int roots = opt.get_int("roots", 8);
+  const int nodes = opt.get_int("nodes", 16);
+
+  bench::print_header("Fig. 16", "Summary-bitmap granularity sweep",
+                      std::to_string(nodes) + " nodes, scale " +
+                          std::to_string(scale) + " (paper: scale 32)");
+
+  const harness::GraphBundle bundle =
+      harness::GraphBundle::make(scale, 16, opt.get_u64("seed", 20120924));
+  harness::ExperimentOptions eo;
+  eo.nodes = nodes;
+  eo.ppn = 8;
+  harness::Experiment e(bundle, eo);
+
+  harness::Table t({"granularity", "summary size", "TEPS", "vs g=64",
+                    "measured zero-skip rate"});
+  std::vector<std::string> cats;
+  std::vector<double> teps_series, skip_series;
+  double base = 0;
+  for (std::uint64_t g : {64ull, 128ull, 256ull, 512ull, 1024ull, 2048ull,
+                          4096ull}) {
+    const harness::EvalResult r = e.run(bfs::granularity(g), roots);
+    if (g == 64) base = r.harmonic_teps;
+    const auto& cnt = r.profile.counters();
+    const double skip_rate =
+        cnt.summary_probes > 0
+            ? static_cast<double>(cnt.summary_zero_skips) /
+                  static_cast<double>(cnt.summary_probes)
+            : 0.0;
+    const std::uint64_t summary_bytes =
+        (bundle.params.num_vertices() / g + 7) / 8;
+    t.row({std::to_string(g),
+           std::to_string(summary_bytes) + " B",
+           harness::Table::gteps(r.harmonic_teps),
+           harness::Table::fmt(r.harmonic_teps / base, 3) + "x",
+           harness::Table::pct(skip_rate)});
+    cats.push_back(std::to_string(g));
+    teps_series.push_back(r.harmonic_teps / 1e9);
+    skip_series.push_back(skip_rate * 100.0);
+  }
+  t.print(std::cout);
+
+  if (opt.has("svg")) {
+    harness::SvgChart chart("Fig. 16 — summary granularity", "granularity",
+                            "GTEPS (virtual) / zero-skip %");
+    chart.set_categories(cats);
+    chart.add_series("TEPS", teps_series);
+    chart.add_series("zero-skip rate (%)", skip_series);
+    const std::string path = opt.get_str("svg", ".") + "/fig16_granularity.svg";
+    chart.write_lines(path);
+    std::cout << "\nwrote " << path << "\n";
+  }
+
+  std::cout << "\npaper: g=256 peaks at +10.2% over g=64; g>=2048 drops "
+               "below g=64\n";
+  return 0;
+}

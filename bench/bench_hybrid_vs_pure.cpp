@@ -1,0 +1,61 @@
+/// Regenerates the Section II.A claim: on a 64-core node, the hybrid
+/// algorithm is 27.3x faster than pure top-down and 4.7x faster than pure
+/// bottom-up (Graph500 evaluation method). Also sweeps the switching
+/// thresholds alpha/beta (the ablation DESIGN.md §7 calls out).
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numabfs;
+  harness::Options opt(argc, argv);
+  const int scale = opt.get_int("scale", 17);
+  const int roots = opt.get_int("roots", 8);
+
+  bench::print_header("Section II.A", "Hybrid vs pure top-down / bottom-up",
+                      "1 node (64 cores), scale " + std::to_string(scale));
+
+  const harness::GraphBundle bundle =
+      harness::GraphBundle::make(scale, 16, opt.get_u64("seed", 20120924));
+  harness::ExperimentOptions eo;
+  eo.nodes = 1;
+  eo.ppn = 8;
+  harness::Experiment e(bundle, eo);
+
+  bfs::Config hybrid;  // defaults
+  bfs::Config td = hybrid;
+  td.direction = bfs::Direction::top_down_only;
+  bfs::Config bu = hybrid;
+  bu.direction = bfs::Direction::bottom_up_only;
+
+  const double t_h = e.run(hybrid, roots).harmonic_teps;
+  const double t_td = e.run(td, roots).harmonic_teps;
+  const double t_bu = e.run(bu, roots).harmonic_teps;
+
+  harness::Table t({"algorithm", "TEPS", "hybrid speedup"});
+  t.row({"hybrid", harness::Table::gteps(t_h), "1.00x"});
+  t.row({"pure top-down", harness::Table::gteps(t_td),
+         harness::Table::fmt(t_h / t_td, 1) + "x"});
+  t.row({"pure bottom-up", harness::Table::gteps(t_bu),
+         harness::Table::fmt(t_h / t_bu, 1) + "x"});
+  t.print(std::cout);
+  std::cout << "\npaper: hybrid = 27.3x top-down, 4.7x bottom-up\n";
+
+  // Ablation: switching thresholds.
+  std::cout << "\nswitch-threshold ablation (alpha: td->bu, beta: bu->td):\n";
+  harness::Table t2({"alpha", "beta", "TEPS", "bu levels"});
+  for (double alpha : {2.0, 14.0, 100.0}) {
+    for (double beta : {4.0, 24.0, 150.0}) {
+      bfs::Config c = hybrid;
+      c.alpha = alpha;
+      c.beta = beta;
+      const harness::EvalResult r = e.run(c, std::min(roots, 4));
+      t2.row({harness::Table::fmt(alpha, 0), harness::Table::fmt(beta, 0),
+              harness::Table::gteps(r.harmonic_teps),
+              std::to_string(r.mean_bu_levels)});
+    }
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,107 @@
+/// Kernel microbenchmarks (google-benchmark): the host-side primitives the
+/// simulator's wall-clock depends on — bitmap scans, summary rebuilds,
+/// copy_bits assembly, R-MAT generation and CSR construction. These measure
+/// *host* time (not virtual time); they guard against performance
+/// regressions in the simulator itself.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graph/bitmap.hpp"
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+#include "graph/summary.hpp"
+
+namespace {
+
+using namespace numabfs::graph;
+
+void BM_BitmapForEachSet(benchmark::State& state) {
+  const std::uint64_t bits = 1ull << static_cast<unsigned>(state.range(0));
+  Bitmap bm(bits);
+  auto v = bm.view();
+  std::mt19937_64 rng(1);
+  for (std::uint64_t i = 0; i < bits / 16; ++i) v.set(rng() % bits);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    v.for_each_set([&](std::uint64_t b) { sum += b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits));
+}
+BENCHMARK(BM_BitmapForEachSet)->Arg(16)->Arg(20);
+
+void BM_BitmapCountRange(benchmark::State& state) {
+  const std::uint64_t bits = 1ull << 20;
+  Bitmap bm(bits);
+  auto v = bm.view();
+  std::mt19937_64 rng(2);
+  for (std::uint64_t i = 0; i < bits / 8; ++i) v.set(rng() % bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.count_range(100, bits - 100));
+  }
+}
+BENCHMARK(BM_BitmapCountRange);
+
+void BM_SummaryRebuild(benchmark::State& state) {
+  const std::uint64_t bits = 1ull << 20;
+  const std::uint64_t g = static_cast<std::uint64_t>(state.range(0));
+  Bitmap src(bits);
+  auto sv = src.view();
+  std::mt19937_64 rng(3);
+  for (std::uint64_t i = 0; i < bits / 64; ++i) sv.set(rng() % bits);
+  Summary s(bits, g);
+  auto view = s.view();
+  for (auto _ : state) view.rebuild_range(sv, 0, bits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits));
+}
+BENCHMARK(BM_SummaryRebuild)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_CopyBitsUnaligned(benchmark::State& state) {
+  const std::uint64_t bits = 1ull << 20;
+  Bitmap src(bits), dst(bits);
+  auto sv = src.view();
+  std::mt19937_64 rng(4);
+  for (std::uint64_t i = 0; i < bits / 32; ++i) sv.set(rng() % bits);
+  for (auto _ : state) {
+    dst.view().reset();
+    copy_bits(dst.view().words(), 37, sv.words(), 13, bits - 64, true);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+BENCHMARK(BM_CopyBitsUnaligned);
+
+void BM_RmatGenerate(benchmark::State& state) {
+  RmatParams p;
+  p.scale = static_cast<int>(state.range(0));
+  p.edgefactor = 8;
+  for (auto _ : state) {
+    auto edges = rmat_edges(p);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.num_edges()));
+}
+BENCHMARK(BM_RmatGenerate)->Arg(12)->Arg(16);
+
+void BM_CsrBuild(benchmark::State& state) {
+  RmatParams p;
+  p.scale = static_cast<int>(state.range(0));
+  p.edgefactor = 8;
+  const auto edges = rmat_edges(p);
+  for (auto _ : state) {
+    Csr g = Csr::from_edges(p.num_vertices(), edges);
+    benchmark::DoNotOptimize(g.num_directed_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_CsrBuild)->Arg(12)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

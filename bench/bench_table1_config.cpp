@@ -1,0 +1,47 @@
+/// Regenerates Table I: the modeled node configuration, plus the derived
+/// model quantities (latencies, bandwidths, saturation points) every other
+/// bench builds on.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "numasim/link_model.hpp"
+#include "numasim/mem_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numabfs;
+  harness::Options opt(argc, argv);
+  const int nodes = opt.get_int("nodes", 16);
+
+  bench::print_header("Table I", "Node configuration (modeled)",
+                      std::to_string(nodes) + " x eight-socket Xeon X7550");
+
+  const sim::Topology topo = sim::Topology::xeon_x7550_cluster(nodes);
+  std::cout << topo.describe() << "\n";
+
+  const sim::CostParams cp;
+  const sim::MemModel mem(cp, topo);
+  const sim::LinkModel link(cp, topo);
+
+  harness::Table t({"model quantity", "value"});
+  t.row({"local L3 hit", harness::Table::fmt(cp.llc_hit_ns, 0) + " ns"});
+  t.row({"remote L3 hit (QPI)", harness::Table::fmt(cp.remote_cache_ns, 0) + " ns"});
+  t.row({"local DRAM (snooped)", harness::Table::fmt(cp.local_dram_ns, 0) + " ns"});
+  t.row({"remote DRAM (avg over mesh)",
+         harness::Table::fmt(mem.avg_remote_dram_ns(), 0) + " ns"});
+  t.row({"local memory bandwidth / socket",
+         harness::Table::fmt(cp.local_bw, 1) + " GB/s"});
+  t.row({"QPI bandwidth / link / dir", harness::Table::fmt(cp.qpi_bw, 1) + " GB/s"});
+  t.row({"IB payload bandwidth / port",
+         harness::Table::fmt(cp.nic_port_bw, 1) + " GB/s"});
+  t.row({"node NIC bw, 1 flow", harness::Table::fmt(link.nic_node_bw(1), 1) + " GB/s"});
+  t.row({"node NIC bw, 8 flows", harness::Table::fmt(link.nic_node_bw(8), 1) + " GB/s"});
+  t.row({"intra-socket OpenMP speedup (8 cores)",
+         harness::Table::fmt(mem.omp_speedup(8), 2) + "x"});
+  t.print(std::cout);
+
+  std::cout << "\nQPI hop counts from socket 0: ";
+  for (int s = 0; s < topo.sockets_per_node(); ++s)
+    std::cout << topo.qpi_hops(0, s) << (s + 1 < topo.sockets_per_node() ? " " : "\n");
+  return 0;
+}

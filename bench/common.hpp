@@ -1,0 +1,50 @@
+#pragma once
+/// \file common.hpp
+/// Shared helpers for the bench binaries. Every bench regenerates one table
+/// or figure of Cui et al. (CLUSTER 2012) and prints the same rows/series
+/// the paper reports, in *virtual* (model) time — see DESIGN.md §5.
+
+#include <iostream>
+#include <string>
+
+#include "harness/graph500.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+
+namespace numabfs::bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& description,
+                         const std::string& setup) {
+  std::cout << "==============================================================\n"
+            << "numabfs reproduction of " << figure << "\n"
+            << description << "\n"
+            << "setup: " << setup << "\n"
+            << "note : all times/TEPS are virtual (calibrated model time)\n"
+            << "==============================================================\n";
+}
+
+/// The optimization ladder of the paper's Fig. 9 (ppn=8 versions).
+struct NamedConfig {
+  std::string name;
+  bfs::Config cfg;
+};
+
+inline std::vector<NamedConfig> fig9_ladder(std::uint64_t best_g = 256) {
+  return {
+      {"Original.ppn=8", bfs::original()},
+      {"+ Share in_queue", bfs::share_in_queue()},
+      {"+ Share all", bfs::share_all()},
+      {"+ Par allgather", bfs::par_allgather()},
+      {"+ Granularity", bfs::granularity(best_g)},
+  };
+}
+
+/// Interleaved single-process-per-node baseline ("Original.ppn=1").
+inline bfs::Config ppn1_interleave() {
+  bfs::Config c = bfs::original();
+  c.bind = bfs::BindMode::interleave;
+  return c;
+}
+
+}  // namespace numabfs::bench

@@ -1,0 +1,94 @@
+/// \file sssp_unweighted.cpp
+/// Unweighted single-source shortest paths via BFS — another of the
+/// paper's motivating BFS clients. Runs the distributed hybrid BFS, derives
+/// hop distances from the parent tree, prints the distance histogram
+/// (the small-world shape of R-MAT graphs) and answers point queries.
+///
+///   ./sssp_unweighted [--scale=15] [--nodes=2] [--source=V] [--target=V]
+
+#include <iostream>
+
+#include "bfs/hybrid.hpp"
+#include "harness/graph500.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numabfs;
+  harness::Options opt(argc, argv);
+
+  const harness::GraphBundle bundle =
+      harness::GraphBundle::make(opt.get_int("scale", 15));
+  harness::ExperimentOptions eo;
+  eo.nodes = opt.get_int("nodes", 2);
+  eo.ppn = 8;
+  harness::Experiment exp(bundle, eo);
+
+  const auto source = static_cast<graph::Vertex>(
+      opt.get_u64("source", bundle.roots.front()));
+  if (bundle.csr.degree(source) == 0) {
+    std::cerr << "source " << source << " is isolated; pick another\n";
+    return 1;
+  }
+
+  const auto [result, parent] = exp.run_validated(bfs::granularity(256), source);
+
+  // Hop distances by chasing parents (memoized through the level count —
+  // parents always point one level up, so depth(v) = depth(parent)+1).
+  const std::uint64_t n = bundle.csr.num_vertices();
+  constexpr std::uint32_t kUnreached = 0xffffffffu;
+  std::vector<std::uint32_t> dist(n, kUnreached);
+  dist[source] = 0;
+  // BFS levels bound the depth, so |levels| passes suffice.
+  for (int pass = 0; pass < result.levels + 1; ++pass) {
+    bool changed = false;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (dist[v] != kUnreached || parent[v] == graph::kNoVertex) continue;
+      const graph::Vertex par = parent[v];
+      if (dist[par] != kUnreached) {
+        dist[v] = dist[par] + 1;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<std::uint64_t> histogram;
+  std::uint64_t reached = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (dist[v] == kUnreached) continue;
+    ++reached;
+    if (dist[v] >= histogram.size()) histogram.resize(dist[v] + 1, 0);
+    ++histogram[dist[v]];
+  }
+
+  std::cout << "source " << source << " reaches " << reached << " of " << n
+            << " vertices in " << histogram.size() - 1
+            << " hops (virtual BFS time " << result.time_ns / 1e6 << " ms)\n\n";
+  harness::Table t({"hops", "vertices", "share"});
+  for (size_t d = 0; d < histogram.size(); ++d)
+    t.row({std::to_string(d), std::to_string(histogram[d]),
+           harness::Table::pct(static_cast<double>(histogram[d]) /
+                               static_cast<double>(reached))});
+  t.print(std::cout);
+  std::cout << "\n(the mass concentrates in 3-5 hops — the small-world "
+               "property that makes BFS communication-bound)\n";
+
+  if (opt.has("target")) {
+    const auto target = static_cast<graph::Vertex>(opt.get_u64("target", 0));
+    if (target >= n || dist[target] == kUnreached) {
+      std::cout << "\ntarget " << target << ": unreachable from " << source
+                << "\n";
+    } else {
+      std::cout << "\nshortest path " << source << " -> " << target << " ("
+                << dist[target] << " hops): ";
+      std::vector<graph::Vertex> path;
+      for (graph::Vertex v = target; v != source; v = parent[v])
+        path.push_back(v);
+      path.push_back(source);
+      for (auto it = path.rbegin(); it != path.rend(); ++it)
+        std::cout << *it << (it + 1 == path.rend() ? "\n" : " -> ");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// \file topology_explorer.cpp
+/// Interactive what-if tool for the NUMA cluster model: build a topology,
+/// price the memory-access classes and the collective plans on it, and see
+/// how the paper's trade-offs move when the hardware changes (socket
+/// count, NIC ports, cache size, weak nodes).
+///
+///   ./topology_explorer --nodes=16 --sockets=8 --ports=2 [--weak-node=15]
+
+#include <iostream>
+
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+#include "runtime/coll_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numabfs;
+  harness::Options opt(argc, argv);
+
+  sim::Topology::Params tp;
+  tp.nodes = opt.get_int("nodes", 16);
+  tp.sockets_per_node = opt.get_int("sockets", 8);
+  tp.cores_per_socket = opt.get_int("cores", 8);
+  tp.nic_ports_per_node = opt.get_int("ports", 2);
+  tp.llc_bytes_per_socket = opt.get_u64("llc-mb", 18) << 20;
+  if (opt.has("weak-node")) {
+    tp.weak_node = opt.get_int("weak-node", -1);
+    tp.weak_node_factor = opt.get_double("weak-factor", 0.5);
+  }
+  const sim::Topology topo(tp);
+  const sim::CostParams cp;
+  std::cout << topo.describe() << "\n";
+
+  rt::Cluster cluster(topo, cp, tp.sockets_per_node);
+  const sim::MemModel& mem = cluster.mem();
+
+  // --- memory-access pricing under each placement -----------------------
+  std::cout << "random-probe cost into a 512 MB structure (ns/probe):\n";
+  harness::Table probes({"placement", "private (1 socket)", "node-shared"});
+  for (sim::Placement p :
+       {sim::Placement::socket_local, sim::Placement::interleaved,
+        sim::Placement::single_home}) {
+    probes.row({sim::to_string(p),
+                harness::Table::fmt(
+                    mem.probe_ns(p, 512ull << 20, 1, true), 1),
+                harness::Table::fmt(
+                    mem.probe_ns(sim::Placement::node_shared, 512ull << 20,
+                                 tp.sockets_per_node, true),
+                    1)});
+  }
+  probes.print(std::cout);
+
+  // --- collective plans for a scale-30 in_queue -------------------------
+  const std::uint64_t in_queue = 1ull << 30 >> 3;  // 128 MB
+  const std::uint64_t chunk = in_queue / static_cast<std::uint64_t>(
+                                             cluster.nranks());
+  std::cout << "\nallgather plans for a " << (in_queue >> 20)
+            << " MB in_queue (" << cluster.nranks() << " processes):\n";
+  namespace cm = rt::coll_model;
+  harness::Table plans({"plan", "gather", "inter", "bcast", "total"});
+  const auto row = [&](const char* name, const cm::CollTimes& t) {
+    plans.row({name, harness::Table::ms(t.gather_ns, 1),
+               harness::Table::ms(t.inter_ns, 1),
+               harness::Table::ms(t.bcast_ns, 1),
+               harness::Table::ms(t.total_ns, 1)});
+  };
+  row("default flat ring", cm::flat_ring(cluster, chunk));
+  row("leader-based", cm::leader_allgather(cluster, chunk, true, true, 1));
+  row("+ share in_queue", cm::leader_allgather(cluster, chunk, true, false, 1));
+  row("+ share all", cm::leader_allgather(cluster, chunk, false, false, 1));
+  row("+ parallel subgroups",
+      cm::leader_allgather(cluster, chunk, false, false, tp.sockets_per_node));
+  plans.print(std::cout);
+
+  // --- NIC saturation ----------------------------------------------------
+  std::cout << "\nnode NIC bandwidth vs concurrent flows:\n";
+  harness::Table nic({"flows", "aggregate", "per flow"});
+  for (int f : {1, 2, 4, 8, 16}) {
+    nic.row({std::to_string(f),
+             harness::Table::fmt(cluster.link().nic_node_bw(f), 2) + " GB/s",
+             harness::Table::fmt(cluster.link().nic_flow_bw(f), 2) + " GB/s"});
+  }
+  nic.print(std::cout);
+
+  std::cout << "\ntip: rerun with --sockets=4, --ports=1 or --weak-node=0 to"
+               " see how the paper's trade-offs move.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Regenerate everything: build, run the full test suite, run every bench
+# (tables to out/*.txt, key figures to out/*.svg). Defaults are sized for a
+# single core; pass SCALE_BOOST=2 to run every sweep two scales larger.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+OUT=${OUT:-out}
+BOOST=${SCALE_BOOST:-0}
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+mkdir -p "$OUT"
+
+run() {
+  local name=$1; shift
+  echo "=== $name"
+  "$BUILD/bench/$name" "$@" | tee "$OUT/$name.txt"
+}
+
+run bench_table1_config
+run bench_fig01_levels   --scale=$((18 + BOOST))
+run bench_fig03_numa_speedup --scale=$((16 + BOOST))
+run bench_fig04_bandwidth
+run bench_fig06_allgather
+run bench_fig09_overview --scale=$((20 + BOOST)) --svg="$OUT"
+run bench_fig10_policies --scale=$((17 + BOOST))
+run bench_fig11_breakdown --scale=$((17 + BOOST))
+run bench_fig12_comm_weakscale --base-scale=$((16 + BOOST))
+run bench_fig13_comm_reduction --base-scale=$((15 + BOOST))
+run bench_fig14_comm_proportion --base-scale=$((15 + BOOST))
+run bench_fig15_weak_scaling --base-scale=$((15 + BOOST)) --svg="$OUT"
+run bench_fig16_granularity --scale=$((20 + BOOST)) --svg="$OUT"
+run bench_hybrid_vs_pure --scale=$((17 + BOOST))
+run bench_ablation_allgather
+run bench_ablation_2d
+run bench_2d_bfs --scale=$((18 + BOOST))
+run bench_model_doctor
+run bench_kernels
+
+echo
+echo "done: tables in $OUT/*.txt, figures in $OUT/*.svg"

@@ -1,0 +1,69 @@
+#include "bfs/config.hpp"
+
+#include <sstream>
+
+namespace numabfs::bfs {
+
+const char* to_string(BindMode b) {
+  switch (b) {
+    case BindMode::noflag: return "noflag";
+    case BindMode::interleave: return "interleave";
+    case BindMode::bind_to_socket: return "bind-to-socket";
+  }
+  return "?";
+}
+
+const char* to_string(Sharing s) {
+  switch (s) {
+    case Sharing::none: return "none";
+    case Sharing::in_queue: return "in_queue";
+    case Sharing::all: return "all";
+  }
+  return "?";
+}
+
+const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::hybrid: return "hybrid";
+    case Direction::top_down_only: return "top-down";
+    case Direction::bottom_up_only: return "bottom-up";
+  }
+  return "?";
+}
+
+std::string Config::name() const {
+  std::ostringstream os;
+  os << to_string(bind) << "/share-" << to_string(sharing);
+  if (parallel_allgather) os << "/par-ag";
+  os << "/g" << summary_granularity;
+  if (direction != Direction::hybrid) os << "/" << to_string(direction);
+  return os.str();
+}
+
+Config original() { return Config{}; }
+
+Config share_in_queue() {
+  Config c;
+  c.sharing = Sharing::in_queue;
+  return c;
+}
+
+Config share_all() {
+  Config c;
+  c.sharing = Sharing::all;
+  return c;
+}
+
+Config par_allgather() {
+  Config c = share_all();
+  c.parallel_allgather = true;
+  return c;
+}
+
+Config granularity(std::uint64_t g) {
+  Config c = par_allgather();
+  c.summary_granularity = g;
+  return c;
+}
+
+}  // namespace numabfs::bfs

@@ -1,0 +1,204 @@
+#include "bfs/exchange.hpp"
+
+#include <cstring>
+
+#include "runtime/coll_model.hpp"
+
+namespace numabfs::bfs {
+
+namespace cm = rt::coll_model;
+
+void clear_out_bits(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
+                    const UnitCosts& u, sim::Phase phase) {
+  const std::uint64_t block_words = dg.part.block() / 64;
+  auto out_q = st.out_queue(p.rank);
+  const std::uint64_t off = static_cast<std::uint64_t>(p.rank) * block_words;
+  std::memset(out_q.words().data() + off, 0, block_words * 8);
+
+  auto out_s = st.out_summary(p.rank);
+  auto sw = out_s.bits().words();
+  if (!st.shared_out()) {
+    // Private: only our own range was ever set; the whole map is tiny.
+    std::memset(sw.data(), 0, sw.size() * 8);
+    p.charge(phase, u.stream_pass_ns(block_words + sw.size()));
+  } else {
+    // Shared: the node's ranks wipe disjoint word slices of the node map.
+    const int ppn = p.ppn;
+    const std::size_t lo = sw.size() * static_cast<std::size_t>(p.local) /
+                           static_cast<std::size_t>(ppn);
+    const std::size_t hi = sw.size() * static_cast<std::size_t>(p.local + 1) /
+                           static_cast<std::size_t>(ppn);
+    std::memset(sw.data() + lo, 0, (hi - lo) * 8);
+    p.charge(phase, u.stream_pass_ns(block_words + (hi - lo)));
+  }
+}
+
+void discovered_to_out_bits(rt::Proc& p, DistState& st, const UnitCosts& u) {
+  auto out_q = st.out_queue(p.rank);
+  auto out_s = st.out_summary(p.rank);
+  const auto& discovered = st.discovered(p.rank);
+  for (graph::Vertex v : discovered) {
+    out_q.set(v);
+    out_s.mark(v);
+  }
+  p.charge(sim::Phase::switch_conv,
+           static_cast<double>(discovered.size()) * 2.0 * u.write_ns /
+               u.omp_div);
+}
+
+void exchange_sparse(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
+                     const UnitCosts& u, sim::Phase phase, bool wipe_out) {
+  rt::Cluster& c = *p.cluster;
+  rt::Comm& world = c.world();
+  const int np = c.nranks();
+
+  const auto& mine = st.discovered(p.rank);
+  world.publish_ptr(p.rank, mine.data());
+  world.publish_val(p.rank, mine.size());
+  p.barrier(world, sim::Phase::stall);  // lists ready
+
+  auto& frontier = st.frontier(p.rank);
+  frontier.clear();
+  std::uint64_t intra_bytes = 0, inter_bytes = 0;
+  for (int r = 0; r < np; ++r) {
+    const std::uint64_t count = world.val(r);
+    const auto* src = static_cast<const graph::Vertex*>(world.ptr(r));
+    frontier.insert(frontier.end(), src, src + count);
+    if (r == p.rank) continue;
+    const std::uint64_t bytes = count * sizeof(graph::Vertex);
+    if (c.node_of(r) == p.node)
+      intra_bytes += bytes;
+    else
+      inter_bytes += bytes;
+  }
+  p.prof.counters().bytes_intra_node += intra_bytes;
+  p.prof.counters().bytes_inter_node += inter_bytes;
+
+  const auto& cp = c.params();
+  const double t =
+      static_cast<double>(np - 1) * cp.nic_msg_latency_ns +
+      static_cast<double>(inter_bytes) /
+          c.link().nic_flow_bw(1, cm::min_nic_factor(c)) +
+      static_cast<double>(intra_bytes) * cp.cico_factor /
+          c.link().shm_flow_bw(1);
+  p.charge(phase, t);
+
+  if (wipe_out) clear_out_bits(p, dg, st, u, sim::Phase::switch_conv);
+  p.barrier(world, phase);
+}
+
+ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
+                                DistState& st, const UnitCosts& u,
+                                sim::Phase phase) {
+  rt::Cluster& c = *p.cluster;
+  rt::Comm& world = c.world();
+  rt::Comm& node = c.node_comm(p.node);
+  const Config& cfg = st.config();
+  const int np = c.nranks();
+  const int ppn = c.ppn();
+
+  const std::uint64_t block_bits = dg.part.block();
+  const std::uint64_t block_words = block_bits / 64;
+  const std::uint64_t g = cfg.summary_granularity;
+  const std::uint64_t summary_bits = st.summary_bits();
+  const std::uint64_t qchunk_bytes = block_words * 8;
+  const std::uint64_t schunk_bytes = std::max<std::uint64_t>(1, block_bits / (8 * g));
+
+  // --- data-plumbing helpers (real movement; time is modeled below) -----
+  const auto copy_queue_chunk = [&](graph::BitmapView dst, int src_rank) {
+    auto src = st.out_queue(src_rank).words();
+    const std::uint64_t off = static_cast<std::uint64_t>(src_rank) * block_words;
+    std::memcpy(dst.words().data() + off, src.data() + off, block_words * 8);
+    if (src_rank == p.rank) return;  // own chunk: no transmission (Eq. (1))
+    const std::uint64_t bytes = block_words * 8;
+    if (c.node_of(src_rank) == p.node)
+      p.prof.counters().bytes_intra_node += bytes;
+    else
+      p.prof.counters().bytes_inter_node += bytes;
+  };
+  const auto copy_summary_range = [&](graph::SummaryView dst, int src_rank,
+                                      bool atomic) {
+    const std::uint64_t sb =
+        static_cast<std::uint64_t>(src_rank) * block_bits / g;
+    const std::uint64_t se = std::min(
+        summary_bits,
+        (static_cast<std::uint64_t>(src_rank + 1) * block_bits + g - 1) / g);
+    if (sb >= se) return;
+    auto src_s = st.out_summary(src_rank);
+    graph::copy_bits(dst.bits().words(), sb, src_s.bits().words(), sb, se - sb,
+                     atomic);
+  };
+  const auto memset_summary = [&](graph::SummaryView s) {
+    auto w = s.bits().words();
+    std::memset(w.data(), 0, w.size() * 8);
+  };
+
+  p.barrier(world, sim::Phase::stall);  // every rank's out data is ready
+
+  // --- modeled durations + real assembly, by plan ------------------------
+  cm::CollTimes qt, ss;
+  auto in_q = st.in_queue(p.rank);
+  auto in_s = st.in_summary(p.rank);
+
+  if (!st.shared_in()) {
+    // "Original": private replicas, library allgather over all np ranks.
+    if (cfg.base_algo == rt::AllgatherAlgo::flat_ring) {
+      qt = cm::flat_ring(c, qchunk_bytes);
+      ss = cm::flat_ring(c, schunk_bytes);
+    } else {
+      const bool rd = cfg.base_algo == rt::AllgatherAlgo::leader_rd;
+      qt = cm::leader_allgather(c, qchunk_bytes, true, true, 1, rd);
+      ss = cm::leader_allgather(c, schunk_bytes, true, true, 1, rd);
+    }
+    for (int r = 0; r < np; ++r) copy_queue_chunk(in_q, r);
+    memset_summary(in_s);
+    for (int r = 0; r < np; ++r) copy_summary_range(in_s, r, false);
+  } else if (!st.shared_out()) {
+    // "+ Share in_queue": gather to leader, leaders ring directly into the
+    // node-shared in_queue; the broadcast step is gone (Fig. 5b).
+    qt = cm::leader_allgather(c, qchunk_bytes, true, false, 1);
+    ss = cm::leader_allgather(c, schunk_bytes, true, false, 1);
+    if (p.is_node_leader()) {
+      for (int r = 0; r < np; ++r) copy_queue_chunk(in_q, r);
+      memset_summary(in_s);
+      for (int r = 0; r < np; ++r) copy_summary_range(in_s, r, false);
+    }
+  } else if (!cfg.parallel_allgather) {
+    // "+ Share all": out slabs are shared too; the gather step is gone.
+    qt = cm::leader_allgather(c, qchunk_bytes, false, false, 1);
+    ss = cm::leader_allgather(c, schunk_bytes, false, false, 1);
+    if (p.is_node_leader()) {
+      for (int r = 0; r < np; ++r) copy_queue_chunk(in_q, r);
+      memset_summary(in_s);
+      for (int r = 0; r < np; ++r) copy_summary_range(in_s, r, false);
+    }
+  } else {
+    // "+ Par allgather": ppn subgroups ring concurrently (Fig. 7), each
+    // assembling its color's slice of every node chunk in place.
+    qt = cm::leader_allgather(c, qchunk_bytes, false, false, ppn);
+    ss = cm::leader_allgather(c, schunk_bytes, false, false, ppn);
+    if (p.is_node_leader()) memset_summary(in_s);
+    p.barrier(node, phase);  // summary zeroed before OR-merges
+    for (int m = 0; m < c.topo().nodes(); ++m) {
+      const int src_rank = m * ppn + p.local;
+      copy_queue_chunk(in_q, src_rank);
+      copy_summary_range(in_s, src_rank, /*atomic=*/true);
+    }
+  }
+
+  p.charge(phase, qt.total_ns + ss.total_ns);
+  p.barrier(world, phase);  // the collective completes together
+
+  clear_out_bits(p, dg, st, u, phase);
+  p.barrier(world, sim::Phase::stall);  // wipes land before the next level
+
+  ExchangeTimes ex;
+  ex.gather_ns = qt.gather_ns + ss.gather_ns;
+  ex.inter_ns = qt.inter_ns + ss.inter_ns;
+  ex.bcast_ns = qt.bcast_ns + ss.bcast_ns;
+  ex.intra_overlapped_ns = qt.intra_overlapped_ns + ss.intra_overlapped_ns;
+  ex.total_ns = qt.total_ns + ss.total_ns;
+  return ex;
+}
+
+}  // namespace numabfs::bfs

@@ -1,0 +1,52 @@
+#pragma once
+/// \file exchange.hpp
+/// The communication phase of Fig. 1: two allgathers rebuilding the next
+/// frontier (`in_queue`) and its summary on every rank/node from the
+/// per-rank `out_queue` chunks, under the variant's sharing level and
+/// allgather plan. Also resets the out structures for the next level.
+
+#include "bfs/costs.hpp"
+#include "bfs/state.hpp"
+#include "graph/dist_graph.hpp"
+#include "runtime/cluster.hpp"
+
+namespace numabfs::bfs {
+
+/// Breakdown of the modeled exchange duration (for Figs. 6/12/13).
+struct ExchangeTimes {
+  double gather_ns = 0;
+  double inter_ns = 0;
+  double bcast_ns = 0;
+  double intra_overlapped_ns = 0;
+  double total_ns = 0;
+};
+
+/// Bitmap exchange (used when the *next* level is bottom-up): the two
+/// allgathers of Fig. 1 rebuild in_queue and in_queue_summary from the
+/// out_queue chunks, then wipe the out structures. SPMD: all ranks call.
+/// Charges the modeled duration to `phase`.
+ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
+                                DistState& st, const UnitCosts& u,
+                                sim::Phase phase);
+
+/// Sparse exchange (used when the next level is top-down): allgatherv of
+/// the per-rank discovered-vertex lists into every rank's replicated
+/// frontier list. Communication is proportional to the frontier size —
+/// negligible outside the bulge, which is why the paper's communication
+/// cost concentrates in the bottom-up phases. `wipe_out` additionally
+/// wipes the out bitmaps (set when the level that produced the frontier
+/// ran bottom-up, whose kernel marks them).
+void exchange_sparse(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
+                     const UnitCosts& u, sim::Phase phase, bool wipe_out);
+
+/// Direction-switch conversion (td -> bu): materialize the out_queue /
+/// out_queue_summary bits from this level's discovered list, so the bitmap
+/// exchange can build the next in_queue. Charged to Phase::switch_conv.
+void discovered_to_out_bits(rt::Proc& p, DistState& st, const UnitCosts& u);
+
+/// Wipe this rank's out_queue chunk and out_summary share (used on the
+/// bu -> td path, where no bitmap exchange performs the wipe).
+void clear_out_bits(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
+                    const UnitCosts& u, sim::Phase phase);
+
+}  // namespace numabfs::bfs

@@ -1,0 +1,282 @@
+#include "bfs/hybrid.hpp"
+
+#include <cstring>
+
+#include "bfs/exchange.hpp"
+#include "bfs/kernels.hpp"
+#include "runtime/allgather.hpp"
+
+namespace numabfs::bfs {
+
+namespace {
+
+/// Per-root reset: wipe visited/pred/queues and seed the root.
+/// Charged to Phase::other (root setup is excluded from the paper's
+/// breakdown but must not be free).
+void reset_state(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
+                 graph::Vertex root, const UnitCosts& u) {
+  rt::Cluster& c = *p.cluster;
+  const auto& lg = dg.locals[static_cast<size_t>(p.rank)];
+  const std::uint64_t block_words = dg.part.block() / 64;
+  const std::uint64_t padded_words = st.padded_bits() / 64;
+
+  st.visited(p.rank).reset();
+  auto pred = st.pred(p.rank);
+  std::fill(pred.begin(), pred.end(), graph::kNoVertex);
+  st.unvisited_edges(p.rank) = lg.owned_edges();
+
+  // out structures: only our own chunk can carry stale bits.
+  {
+    auto out_q = st.out_queue(p.rank);
+    std::memset(out_q.words().data() +
+                    static_cast<std::uint64_t>(p.rank) * block_words,
+                0, block_words * 8);
+    auto sw = st.out_summary(p.rank).bits().words();
+    if (!st.shared_out()) {
+      std::memset(sw.data(), 0, sw.size() * 8);
+    } else {
+      const std::size_t lo = sw.size() * static_cast<std::size_t>(p.local) /
+                             static_cast<std::size_t>(p.ppn);
+      const std::size_t hi =
+          sw.size() * static_cast<std::size_t>(p.local + 1) /
+          static_cast<std::size_t>(p.ppn);
+      std::memset(sw.data() + lo, 0, (hi - lo) * 8);
+    }
+  }
+
+  // in structures: one writer per copy.
+  auto in_q = st.in_queue(p.rank);
+  auto in_s = st.in_summary(p.rank);
+  if (!st.shared_in() || p.is_node_leader()) {
+    in_q.reset();
+    auto sw = in_s.bits().words();
+    std::memset(sw.data(), 0, sw.size() * 8);
+    in_q.set(root);
+    in_s.mark(root);
+  }
+
+  // Root bookkeeping at the owner; every rank seeds its frontier list.
+  auto& frontier = st.frontier(p.rank);
+  frontier.clear();
+  frontier.push_back(root);
+  st.discovered(p.rank).clear();
+  if (root >= lg.vbegin && root < lg.vend) {
+    const std::uint64_t lv = root - lg.vbegin;
+    st.visited(p.rank).set(lv);
+    pred[lv] = root;
+    st.unvisited_edges(p.rank) -= lg.bu_offsets[lv + 1] - lg.bu_offsets[lv];
+  }
+
+  p.charge(sim::Phase::other, u.stream_pass_ns(2 * padded_words + block_words));
+  p.barrier(c.world(), sim::Phase::other);
+}
+
+}  // namespace
+
+BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
+                     graph::Vertex root) {
+  const Config& cfg = st.config();
+  BfsRunResult out;
+
+  // Shape-derived unit costs (identical on every rank up to owned sizes;
+  // we use rank-0 shapes for the shared structures, per-rank for owned).
+  std::vector<UnitCosts> costs(static_cast<size_t>(c.nranks()));
+  for (int r = 0; r < c.nranks(); ++r) {
+    const auto& lg = dg.locals[static_cast<size_t>(r)];
+    StructSizes sz;
+    sz.in_queue_bytes = st.padded_bits() / 8;
+    sz.in_summary_bytes = (st.summary_bits() + 7) / 8;
+    sz.owned_bytes = lg.owned() / 8 + lg.owned() * sizeof(graph::Vertex);
+    sz.td_group_count = std::max<std::uint64_t>(1, lg.td_keys.size());
+    costs[static_cast<size_t>(r)] = unit_costs(c, cfg, sz);
+  }
+
+  struct Shared {
+    std::vector<int> directions;
+    int td_ex = 0, bu_ex = 0;
+    std::uint64_t visited = 1;  // root
+    std::vector<std::uint64_t> frontier_sizes;  // per level (input frontier)
+    std::vector<std::uint64_t> discovered;      // per level
+  } shared;
+
+  // Host-side per-rank, per-level measurements (no virtual-time impact).
+  struct RankLevel {
+    std::uint64_t edges = 0, skips = 0, probes = 0;
+    double comp_ns = 0, comm_ns = 0;
+  };
+  std::vector<std::vector<RankLevel>> rank_levels(
+      static_cast<size_t>(c.nranks()));
+
+  c.run([&](rt::Proc& p) {
+    const auto& lg = dg.locals[static_cast<size_t>(p.rank)];
+    const UnitCosts& u = costs[static_cast<size_t>(p.rank)];
+    rt::Comm& world = c.world();
+
+    reset_state(p, dg, st, root, u);
+
+    const std::uint64_t n = dg.n;
+    const bool root_owned = root >= lg.vbegin && root < lg.vend;
+    std::uint64_t root_deg =
+        root_owned ? lg.bu_offsets[root - lg.vbegin + 1] -
+                         lg.bu_offsets[root - lg.vbegin]
+                   : 0;
+    // Frontier stats of "level -1": the root alone.
+    std::uint64_t frontier_edges =
+        rt::allreduce_sum(p, world, root_deg, sim::Phase::stall);
+
+    int dir = cfg.direction == Direction::bottom_up_only ? 1 : 0;
+    // The very first level profits from knowing the root's degree.
+    if (cfg.direction == Direction::hybrid) {
+      const std::uint64_t rem = rt::allreduce_sum(
+          p, world, st.unvisited_edges(p.rank), sim::Phase::stall);
+      if (static_cast<double>(frontier_edges) >
+          static_cast<double>(rem) / cfg.alpha)
+        dir = 1;
+    }
+
+    std::uint64_t prev_nf = 1;  // the root seeds level 0's frontier
+    for (;;) {
+      const auto& cnt0 = p.prof.counters();
+      const std::uint64_t edges0 = cnt0.edges_scanned;
+      const std::uint64_t skips0 = cnt0.summary_zero_skips;
+      const std::uint64_t probes0 = cnt0.summary_probes;
+      const double comp0 = p.prof.get(sim::Phase::td_comp) +
+                           p.prof.get(sim::Phase::bu_comp);
+      const double comm0 = p.prof.comm_ns();
+
+      const LevelResult lr = dir == 0 ? top_down_level(p, lg, u, st)
+                                      : bottom_up_level(p, lg, u, st);
+
+      const std::uint64_t nf =
+          rt::allreduce_sum(p, world, lr.discovered, sim::Phase::stall);
+      const std::uint64_t mf = rt::allreduce_sum(p, world, lr.discovered_edges,
+                                                 sim::Phase::stall);
+      const std::uint64_t rem = rt::allreduce_sum(
+          p, world, st.unvisited_edges(p.rank), sim::Phase::stall);
+
+      if (p.rank == 0) {
+        shared.directions.push_back(dir);
+        shared.visited += nf;
+        shared.frontier_sizes.push_back(prev_nf);
+        shared.discovered.push_back(nf);
+      }
+      const std::uint64_t frontier_prev_count = prev_nf;
+      prev_nf = nf;
+
+      const auto record_level = [&] {
+        const auto& cnt1 = p.prof.counters();
+        RankLevel rl;
+        rl.edges = cnt1.edges_scanned - edges0;
+        rl.skips = cnt1.summary_zero_skips - skips0;
+        rl.probes = cnt1.summary_probes - probes0;
+        rl.comp_ns = p.prof.get(sim::Phase::td_comp) +
+                     p.prof.get(sim::Phase::bu_comp) - comp0;
+        rl.comm_ns = p.prof.comm_ns() - comm0;
+        rank_levels[static_cast<size_t>(p.rank)].push_back(rl);
+      };
+      if (nf == 0) {
+        record_level();
+        break;
+      }
+
+      // Decide the next level's direction first: it selects the exchange.
+      // td -> bu additionally requires a *growing* frontier (Beamer): at
+      // the tail the remaining-edge denominator collapses and the ratio
+      // test alone would bounce back into bottom-up for a dying frontier.
+      const bool growing = nf > frontier_prev_count;
+      int next = dir;
+      if (cfg.direction == Direction::hybrid) {
+        if (dir == 0 && growing &&
+            static_cast<double>(mf) > static_cast<double>(rem) / cfg.alpha)
+          next = 1;
+        else if (dir == 1 && static_cast<double>(nf) <
+                                 static_cast<double>(n) / cfg.beta)
+          next = 0;
+      }
+
+      // The bitmap allgathers belong to the bottom-up procedure (Fig. 1);
+      // the sparse list exchange is the top-down queue handoff.
+      if (next == 1) {
+        // Next level searches bottom-up: it needs the in_queue bitmap. A
+        // top-down level only produced a sparse list — materialize it
+        // ("Switch" in Fig. 11), then run the two allgathers of Fig. 1.
+        if (dir == 0) discovered_to_out_bits(p, st, u);
+        exchange_frontier(p, dg, st, u, sim::Phase::bu_comm);
+        if (p.rank == 0) shared.bu_ex++;
+      } else {
+        // Next level is top-down: the sparse list exchange suffices; when
+        // leaving bottom-up, the stale out bitmaps are wiped on the way.
+        exchange_sparse(p, dg, st, u, sim::Phase::td_comm, /*wipe_out=*/dir == 1);
+        if (p.rank == 0) shared.td_ex++;
+      }
+      record_level();
+      dir = next;
+    }
+
+    p.barrier(world, sim::Phase::stall);
+  });
+
+  // Aggregate.
+  const auto& profiles = c.profiles();
+  double max_total = 0;
+  for (const auto& pr : profiles) max_total = std::max(max_total, pr.total_ns());
+  out.time_ns = max_total;
+  out.visited = shared.visited;
+  out.directions = shared.directions;
+  out.levels = static_cast<int>(shared.directions.size());
+  for (int d : shared.directions) (d == 0 ? out.td_levels : out.bu_levels)++;
+  out.td_exchanges = shared.td_ex;
+  out.bu_exchanges = shared.bu_ex;
+
+  sim::PhaseProfile sum;
+  sim::PhaseProfile mx;
+  for (const auto& pr : profiles) {
+    sum += pr;
+    mx.max_with(pr);
+  }
+  out.profile_avg = sum.scaled(1.0 / static_cast<double>(profiles.size()));
+  // scaled() multiplies times only; counters in profile_avg stay summed.
+  out.profile_avg.counters() = sum.counters();
+  out.profile_max = mx;
+
+  std::uint64_t traversed = 0;
+  for (int r = 0; r < c.nranks(); ++r)
+    traversed += dg.locals[static_cast<size_t>(r)].owned_edges() -
+                 st.unvisited_edges(r);
+  out.traversed_directed_edges = traversed;
+
+  // Assemble the per-level trace from the host-side rank records.
+  out.trace.reserve(shared.directions.size());
+  for (size_t lvl = 0; lvl < shared.directions.size(); ++lvl) {
+    LevelTrace t;
+    t.level = static_cast<int>(lvl);
+    t.direction = shared.directions[lvl];
+    t.frontier_vertices = shared.frontier_sizes[lvl];
+    t.discovered = shared.discovered[lvl];
+    for (const auto& rl : rank_levels) {
+      if (lvl >= rl.size()) continue;
+      t.edges_scanned += rl[lvl].edges;
+      t.summary_zero_skips += rl[lvl].skips;
+      t.summary_probes += rl[lvl].probes;
+      t.comp_ns += rl[lvl].comp_ns;
+      t.comm_ns += rl[lvl].comm_ns;
+    }
+    t.comp_ns /= static_cast<double>(c.nranks());
+    t.comm_ns /= static_cast<double>(c.nranks());
+    out.trace.push_back(t);
+  }
+  return out;
+}
+
+std::vector<graph::Vertex> gather_parents(const graph::DistGraph& dg,
+                                          DistState& st) {
+  std::vector<graph::Vertex> parent(dg.n, graph::kNoVertex);
+  for (int r = 0; r < dg.part.np(); ++r) {
+    const auto pred = st.pred(r);
+    const std::uint64_t vb = dg.part.begin(r);
+    for (std::size_t i = 0; i < pred.size(); ++i) parent[vb + i] = pred[i];
+  }
+  return parent;
+}
+
+}  // namespace numabfs::bfs

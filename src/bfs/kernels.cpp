@@ -1,0 +1,144 @@
+#include "bfs/kernels.hpp"
+
+#include <algorithm>
+
+namespace numabfs::bfs {
+
+LevelResult top_down_level(rt::Proc& p, const graph::LocalGraph& lg,
+                           const UnitCosts& u, DistState& st) {
+  LevelResult res;
+  auto vis = st.visited(p.rank);
+  auto pred = st.pred(p.rank);
+  std::uint64_t& unvisited_edges = st.unvisited_edges(p.rank);
+  const std::vector<graph::Vertex>& frontier = st.frontier(p.rank);
+  std::vector<graph::Vertex>& discovered = st.discovered(p.rank);
+  discovered.clear();
+
+  std::uint64_t edges = 0;
+  std::uint64_t vis_probes = 0;
+  std::uint64_t writes = 0;
+
+  // Top-down works on the *sparse* frontier list (Graph500's queues):
+  // for each frontier vertex, claim its unvisited owned children. Work is
+  // proportional to the frontier's edges — which is exactly why it loses
+  // on the bulge levels and the hybrid switches to bottom-up.
+  for (graph::Vertex key : frontier) {
+    const auto it =
+        std::lower_bound(lg.td_keys.begin(), lg.td_keys.end(), key);
+    if (it == lg.td_keys.end() || *it != key) continue;
+    const auto k = static_cast<std::size_t>(it - lg.td_keys.begin());
+    for (graph::Vertex v : lg.td_group(k)) {
+      ++edges;
+      const std::uint64_t lv = v - lg.vbegin;
+      ++vis_probes;
+      if (vis.get(lv)) continue;
+      vis.set(lv);
+      pred[lv] = key;
+      discovered.push_back(v);
+      writes += 2;
+      const std::uint64_t deg = lg.bu_offsets[lv + 1] - lg.bu_offsets[lv];
+      ++res.discovered;
+      res.discovered_edges += deg;
+      unvisited_edges -= deg;
+    }
+  }
+
+  auto& cnt = p.prof.counters();
+  cnt.edges_scanned += edges;
+  cnt.queue_writes += writes;
+  cnt.vertices_visited += res.discovered;
+
+  const double ns = (static_cast<double>(frontier.size()) * u.group_search_ns +
+                     static_cast<double>(edges) * u.edge_scan_ns +
+                     static_cast<double>(vis_probes) * u.visited_probe_ns +
+                     static_cast<double>(writes) * u.write_ns) /
+                    u.omp_div;
+  p.charge(sim::Phase::td_comp, ns);
+  return res;
+}
+
+LevelResult bottom_up_level(rt::Proc& p, const graph::LocalGraph& lg,
+                            const UnitCosts& u, DistState& st) {
+  LevelResult res;
+  auto in_q = st.in_queue(p.rank);
+  auto in_s = st.in_summary(p.rank);
+  auto out_q = st.out_queue(p.rank);
+  auto out_s = st.out_summary(p.rank);
+  auto vis = st.visited(p.rank);
+  auto pred = st.pred(p.rank);
+  std::uint64_t& unvisited_edges = st.unvisited_edges(p.rank);
+  std::vector<graph::Vertex>& discovered = st.discovered(p.rank);
+  discovered.clear();
+
+  std::uint64_t edges = 0;
+  std::uint64_t summary_probes = 0;
+  std::uint64_t zero_skips = 0;
+  std::uint64_t in_probes = 0;
+  std::uint64_t hits = 0;
+
+  const std::uint64_t owned = lg.owned();
+  const std::uint64_t owned_words = (owned + 63) / 64;
+  auto vis_words = vis.words();
+  for (std::uint64_t wi = 0; wi < owned_words; ++wi) {
+    // Snapshot: bits set during this pass must not suppress processing of
+    // vertices that were unvisited when the level began.
+    std::uint64_t unvisited = ~vis_words[wi];
+    if ((wi + 1) * 64 > owned) {
+      const std::uint64_t tail = owned & 63;
+      if (tail) unvisited &= (1ull << tail) - 1;
+    }
+    while (unvisited) {
+      const std::uint64_t lv = wi * 64 +
+                               static_cast<std::uint64_t>(
+                                   std::countr_zero(unvisited));
+      unvisited &= unvisited - 1;
+      for (graph::Vertex uu : lg.bu_neighbors(lv)) {
+        ++edges;
+        ++summary_probes;
+        if (!in_s.covers(uu)) {
+          // Summary zero: the whole block of in_queue is provably zero;
+          // the expensive in_queue probe is skipped (the paper's Fig. 8
+          // mechanism).
+          ++zero_skips;
+          continue;
+        }
+        ++in_probes;
+        if (in_q.get(uu)) {
+          const graph::Vertex v = static_cast<graph::Vertex>(lg.vbegin + lv);
+          vis.set(lv);
+          pred[lv] = uu;
+          out_q.set(v);
+          out_s.mark(v);
+          discovered.push_back(v);
+          ++hits;
+          const std::uint64_t deg = lg.bu_offsets[lv + 1] - lg.bu_offsets[lv];
+          ++res.discovered;
+          res.discovered_edges += deg;
+          unvisited_edges -= deg;
+          break;  // a parent was found; stop fighting over this child
+        }
+      }
+    }
+  }
+
+  auto& cnt = p.prof.counters();
+  cnt.edges_scanned += edges;
+  cnt.summary_probes += summary_probes;
+  cnt.summary_zero_skips += zero_skips;
+  cnt.inqueue_probes += in_probes;
+  cnt.frontier_hits += hits;
+  cnt.queue_writes += hits * 3;
+  cnt.vertices_visited += res.discovered;
+
+  const double ns =
+      u.stream_pass_ns(owned_words) +
+      (static_cast<double>(edges) * u.edge_scan_ns +
+       static_cast<double>(summary_probes) * u.summary_probe_ns +
+       static_cast<double>(in_probes) * u.inqueue_probe_ns +
+       static_cast<double>(hits) * 3.0 * u.write_ns) /
+          u.omp_div;
+  p.charge(sim::Phase::bu_comp, ns);
+  return res;
+}
+
+}  // namespace numabfs::bfs

@@ -1,0 +1,33 @@
+#pragma once
+/// \file kernels.hpp
+/// The per-level traversal kernels of the hybrid BFS (Fig. 1):
+///  - top-down: scan the frontier bitmap; for each frontier vertex, claim
+///    its unvisited owned neighbors;
+///  - bottom-up: for each unvisited owned vertex, search its neighbors for
+///    a parent in the frontier, probing in_queue_summary first so zero
+///    blocks skip the expensive in_queue access (Section II.B.2).
+///
+/// Kernels measure real event counts on the real bitmaps and charge
+/// `counts x UnitCosts` to the rank's virtual clock.
+
+#include <cstdint>
+
+#include "bfs/costs.hpp"
+#include "bfs/state.hpp"
+#include "graph/dist_graph.hpp"
+#include "runtime/cluster.hpp"
+
+namespace numabfs::bfs {
+
+struct LevelResult {
+  std::uint64_t discovered = 0;        ///< owned vertices discovered
+  std::uint64_t discovered_edges = 0;  ///< sum of their degrees
+};
+
+LevelResult top_down_level(rt::Proc& p, const graph::LocalGraph& lg,
+                           const UnitCosts& u, DistState& st);
+
+LevelResult bottom_up_level(rt::Proc& p, const graph::LocalGraph& lg,
+                            const UnitCosts& u, DistState& st);
+
+}  // namespace numabfs::bfs

@@ -1,0 +1,79 @@
+#include "bfs/state.hpp"
+
+#include <stdexcept>
+
+namespace numabfs::bfs {
+
+namespace {
+
+/// Validate before any member initializer derives sizes from the config.
+const Config& validated(const Config& cfg) {
+  if (const std::string err = cfg.validate(); !err.empty())
+    throw std::invalid_argument("DistState: " + err);
+  return cfg;
+}
+
+}  // namespace
+
+DistState::DistState(const graph::DistGraph& dg, const Config& cfg, int nodes,
+                     int ppn)
+    : cfg_(validated(cfg)),
+      nodes_(nodes),
+      ppn_(ppn),
+      shared_in_(cfg.sharing != Sharing::none && ppn > 1),
+      shared_out_(cfg.sharing == Sharing::all && ppn > 1),
+      padded_bits_(dg.part.padded_bits()),
+      summary_bits_(graph::SummaryView::summary_bits_for(
+          padded_bits_, cfg.summary_granularity)) {
+  const int np = nodes * ppn;
+  if (dg.part.np() != np)
+    throw std::invalid_argument("DistState: partition/cluster shape mismatch");
+
+  const std::uint64_t g = cfg.summary_granularity;
+
+  if (shared_in_) {
+    node_in_queue_.reserve(nodes);
+    node_in_summary_.reserve(nodes);
+    for (int n = 0; n < nodes; ++n) {
+      node_in_queue_.emplace_back(padded_bits_);
+      node_in_summary_.emplace_back(padded_bits_, g);
+    }
+  } else {
+    rank_in_queue_.reserve(np);
+    rank_in_summary_.reserve(np);
+    for (int r = 0; r < np; ++r) {
+      rank_in_queue_.emplace_back(padded_bits_);
+      rank_in_summary_.emplace_back(padded_bits_, g);
+    }
+  }
+
+  if (shared_out_) {
+    node_out_queue_.reserve(nodes);
+    node_out_summary_.reserve(nodes);
+    for (int n = 0; n < nodes; ++n) {
+      node_out_queue_.emplace_back(padded_bits_);
+      node_out_summary_.emplace_back(padded_bits_, g);
+    }
+  } else {
+    rank_out_queue_.reserve(np);
+    rank_out_summary_.reserve(np);
+    for (int r = 0; r < np; ++r) {
+      rank_out_queue_.emplace_back(padded_bits_);
+      rank_out_summary_.emplace_back(padded_bits_, g);
+    }
+  }
+
+  visited_.reserve(np);
+  pred_.resize(np);
+  unvisited_edges_.assign(np, 0);
+  frontier_.resize(np);
+  discovered_.resize(np);
+  for (int r = 0; r < np; ++r) {
+    const auto& lg = dg.locals[static_cast<size_t>(r)];
+    visited_.emplace_back(lg.owned() > 0 ? lg.owned() : 1);
+    pred_[static_cast<size_t>(r)].assign(lg.owned(), graph::kNoVertex);
+    unvisited_edges_[static_cast<size_t>(r)] = lg.owned_edges();
+  }
+}
+
+}  // namespace numabfs::bfs

@@ -1,0 +1,126 @@
+#pragma once
+/// \file bfs2d.hpp
+/// 2-D partitioned top-down BFS (Buluc & Madduri, SC'11) — the paper's
+/// related-work pointer implemented: "our implementation could be applied
+/// to the 2-D partition algorithm to further reduce its communication
+/// overhead. Actually, they are orthogonal."
+///
+/// Processors form a square R x R grid (rank = i*R + j). The adjacency
+/// matrix is blocked: rank (i,j) stores the edges from column-band j into
+/// row-band i. One level runs in four steps:
+///   1. *transpose*: each rank sends its owned frontier piece (slice j of
+///      row-band i) to rank (j,i) — with a square grid, row-band i and
+///      col-band i coincide, so column i then holds its col-band pieces;
+///   2. *expand*: allgather along each processor column assembles the full
+///      col-band frontier bitmap on every member;
+///   3. *local scan*: each rank walks its groups (sources in its col-band)
+///      and emits (child, parent) candidates for its row-band;
+///   4. *fold*: candidates are routed along the processor row to the
+///      child's owner, which deduplicates against `visited` and extends
+///      the tree.
+/// With C = ppn and R = nodes, rows are intra-node and columns are
+/// inter-node — the layout the paper's NUMA optimizations would compose
+/// with. Communication volume per level is O(n/sqrt(np)) per rank instead
+/// of the 1-D allgather's O(n): `bench_2d_bfs` quantifies the crossover.
+///
+/// Only the *traditional* (top-down) algorithm is implemented, matching
+/// the baseline Buluc & Madduri describe; direction-optimization on 2-D is
+/// out of scope here as it was for the paper.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "numasim/phase_profile.hpp"
+#include "runtime/cluster.hpp"
+
+namespace numabfs::bfs2d {
+
+/// Square processor grid over the cluster's ranks (requires nranks to be a
+/// perfect square) and the conformal vertex distribution.
+class Grid2d {
+ public:
+  /// `np` must be a perfect square; vertices are padded so every piece is
+  /// word-aligned.
+  Grid2d(std::uint64_t n, int np);
+
+  int r() const { return r_; }             ///< grid side (R = C)
+  int np() const { return r_ * r_; }
+  std::uint64_t n() const { return n_; }
+  std::uint64_t padded() const { return padded_; }
+  std::uint64_t band_bits() const { return padded_ / r_; }   ///< row/col band
+  std::uint64_t piece_bits() const { return band_bits() / r_; }
+
+  int row_of(int rank) const { return rank / r_; }
+  int col_of(int rank) const { return rank % r_; }
+  int rank_at(int i, int j) const { return i * r_ + j; }
+
+  /// Owner of vertex v: row i = band, slice j within the band.
+  int owner(std::uint64_t v) const {
+    const int i = static_cast<int>(v / band_bits());
+    const int j = static_cast<int>(v % band_bits() / piece_bits());
+    return rank_at(i, j);
+  }
+  std::uint64_t piece_begin(int rank) const {
+    return static_cast<std::uint64_t>(row_of(rank)) * band_bits() +
+           static_cast<std::uint64_t>(col_of(rank)) * piece_bits();
+  }
+
+ private:
+  std::uint64_t n_;
+  int r_;
+  std::uint64_t padded_;
+};
+
+/// Rank (i,j)'s matrix block: edges u (in col-band j) -> v (in row-band i),
+/// grouped by source u.
+struct Block2d {
+  std::vector<graph::Vertex> keys;          ///< distinct sources, ascending
+  std::vector<std::uint64_t> offsets;       ///< size keys+1
+  std::vector<graph::Vertex> targets;       ///< children in row-band i
+  std::uint64_t edges() const { return targets.size(); }
+};
+
+/// The distributed 2-D graph: one block per rank.
+struct DistGraph2d {
+  Grid2d grid;
+  std::uint64_t directed_edges = 0;
+  std::vector<Block2d> blocks;
+
+  static DistGraph2d build(const graph::Csr& g, const Grid2d& grid);
+};
+
+struct Bfs2dOptions {
+  /// Apply the paper's sharing idea to the 2-D *fold*: with C = ppn the row
+  /// exchange is intra-node, so candidate buffers can live in node-shared
+  /// segments and peers read them directly instead of through the MPI
+  /// shared-memory channel's copy-in/copy-out bounce — the composition the
+  /// paper's related-work section calls orthogonal.
+  bool shared_fold = false;
+};
+
+struct Bfs2dResult {
+  double time_ns = 0;
+  std::uint64_t visited = 0;
+  int levels = 0;
+  sim::PhaseProfile profile_avg;
+  /// mean time of one expand (column allgather) / fold (row exchange)
+  double expand_ns_per_level = 0;
+  double fold_ns_per_level = 0;
+
+  double teps(std::uint64_t traversed_edges) const {
+    return time_ns > 0
+               ? static_cast<double>(traversed_edges) / (time_ns * 1e-9)
+               : 0.0;
+  }
+};
+
+/// Run one 2-D top-down BFS. `c` must have nranks == grid.np(). Returns the
+/// result and fills `parent_out` (size grid.n()) for validation.
+Bfs2dResult run_bfs_2d(rt::Cluster& c, const DistGraph2d& dg,
+                       graph::Vertex root,
+                       std::vector<graph::Vertex>* parent_out = nullptr,
+                       const Bfs2dOptions& opt = {});
+
+}  // namespace numabfs::bfs2d

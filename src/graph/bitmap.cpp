@@ -1,0 +1,102 @@
+#include "graph/bitmap.hpp"
+
+namespace numabfs::graph {
+
+std::uint64_t BitmapView::count_range(std::uint64_t begin,
+                                      std::uint64_t end) const {
+  assert(begin <= end && end <= nbits_);
+  if (begin == end) return 0;
+  std::uint64_t total = 0;
+  std::uint64_t w = begin >> 6;
+  const std::uint64_t w_last = (end - 1) >> 6;
+  for (; w <= w_last; ++w) {
+    std::uint64_t word = words_[w];
+    if (w == (begin >> 6)) word &= ~0ull << (begin & 63);
+    if (w == w_last) {
+      const std::uint64_t tail = end & 63;
+      if (tail) word &= (1ull << tail) - 1;
+    }
+    total += static_cast<std::uint64_t>(std::popcount(word));
+  }
+  return total;
+}
+
+bool BitmapView::any() const {
+  for (std::uint64_t word : words_)
+    if (word) return true;
+  return false;
+}
+
+namespace {
+
+/// OR `value` into dst[word_index], atomically or not.
+inline void merge_word(std::span<std::uint64_t> dst, std::uint64_t word_index,
+                       std::uint64_t value, bool atomic) {
+  if (value == 0) return;
+  if (atomic) {
+    std::atomic_ref<std::uint64_t> ref(dst[word_index]);
+    ref.fetch_or(value, std::memory_order_relaxed);
+  } else {
+    dst[word_index] |= value;
+  }
+}
+
+}  // namespace
+
+void copy_bits(std::span<std::uint64_t> dst, std::uint64_t dst_bit,
+               std::span<const std::uint64_t> src, std::uint64_t src_bit,
+               std::uint64_t nbits, bool atomic_boundaries) {
+  if (nbits == 0) return;
+
+  // Read bit i of src (relative to src_bit) — extracted a word at a time.
+  const auto src_word_at = [&](std::uint64_t rel_word) -> std::uint64_t {
+    // 64 bits starting at src_bit + rel_word*64
+    const std::uint64_t bit = src_bit + (rel_word << 6);
+    const std::uint64_t w = bit >> 6;
+    const std::uint64_t off = bit & 63;
+    std::uint64_t lo = src[w] >> off;
+    if (off != 0 && w + 1 < src.size()) lo |= src[w + 1] << (64 - off);
+    return lo;
+  };
+
+  const std::uint64_t dst_off = dst_bit & 63;
+  std::uint64_t dst_w = dst_bit >> 6;
+  std::uint64_t remaining = nbits;
+  std::uint64_t rel = 0;  // bits consumed from src
+
+  // Head: fill the first (possibly partial) destination word.
+  if (dst_off != 0 || remaining < 64) {
+    const std::uint64_t take = std::min<std::uint64_t>(64 - dst_off, remaining);
+    const std::uint64_t mask = take == 64 ? ~0ull : ((1ull << take) - 1);
+    const std::uint64_t chunk = src_word_at(0) & mask;
+    merge_word(dst, dst_w, chunk << dst_off, atomic_boundaries);
+    remaining -= take;
+    rel += take;
+    ++dst_w;
+  }
+
+  // Interior: whole destination words. Only the first and last word of the
+  // copy can be shared with neighboring writers; interiors are exclusive.
+  const auto src_chunk = [&](std::uint64_t consumed) -> std::uint64_t {
+    const std::uint64_t bit = src_bit + consumed;
+    const std::uint64_t w = bit >> 6;
+    const std::uint64_t off = bit & 63;
+    std::uint64_t val = src[w] >> off;
+    if (off != 0 && w + 1 < src.size()) val |= src[w + 1] << (64 - off);
+    return val;
+  };
+  while (remaining >= 64) {
+    merge_word(dst, dst_w, src_chunk(rel), false);
+    remaining -= 64;
+    rel += 64;
+    ++dst_w;
+  }
+
+  // Tail: trailing partial word (shared with the next writer's head).
+  if (remaining > 0) {
+    const std::uint64_t mask = (1ull << remaining) - 1;
+    merge_word(dst, dst_w, src_chunk(rel) & mask, atomic_boundaries);
+  }
+}
+
+}  // namespace numabfs::graph

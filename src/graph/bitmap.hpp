@@ -1,0 +1,121 @@
+#pragma once
+/// \file bitmap.hpp
+/// Packed bitmaps: the frontier representation of the hybrid BFS
+/// (`in_queue` / `out_queue` of the paper's Fig. 1).
+///
+/// `BitmapView` is non-owning so the same code runs over private rank
+/// buffers and node-shared segments. Writes are plain (not atomic); the BFS
+/// partitions write ranges word-disjointly and separates read/write phases
+/// with barriers, exactly like the paper's scheme. The one place unaligned
+/// concurrent writes can occur — summary-chunk assembly at rank boundaries —
+/// goes through `copy_bits`, which uses atomic OR on boundary words.
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace numabfs::graph {
+
+class BitmapView {
+ public:
+  BitmapView() = default;
+  BitmapView(std::span<std::uint64_t> words, std::uint64_t nbits)
+      : words_(words), nbits_(nbits) {
+    assert(words.size() >= words_for(nbits));
+  }
+
+  static std::size_t words_for(std::uint64_t nbits) {
+    return static_cast<std::size_t>((nbits + 63) / 64);
+  }
+
+  std::uint64_t size_bits() const { return nbits_; }
+  std::uint64_t size_bytes() const { return words_.size() * 8; }
+  std::span<std::uint64_t> words() { return words_; }
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  bool get(std::uint64_t i) const {
+    assert(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::uint64_t i) {
+    assert(i < nbits_);
+    words_[i >> 6] |= 1ull << (i & 63);
+  }
+  void clear(std::uint64_t i) {
+    assert(i < nbits_);
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+
+  void reset() { std::memset(words_.data(), 0, words_.size() * 8); }
+
+  /// Population count over [begin, end) bit positions.
+  std::uint64_t count_range(std::uint64_t begin, std::uint64_t end) const;
+  std::uint64_t count() const { return count_range(0, nbits_); }
+  bool any() const;
+
+  /// Invoke f(bit_index) for every set bit in [begin, end).
+  template <typename F>
+  void for_each_set(std::uint64_t begin, std::uint64_t end, F&& f) const {
+    assert(begin <= end && end <= nbits_);
+    std::uint64_t w = begin >> 6;
+    const std::uint64_t w_end = (end + 63) >> 6;
+    for (; w < w_end; ++w) {
+      std::uint64_t word = words_[w];
+      if (w == (begin >> 6)) word &= ~0ull << (begin & 63);
+      if (((w + 1) << 6) > end) {
+        const std::uint64_t tail = end & 63;
+        if (tail) word &= (1ull << tail) - 1;
+      }
+      while (word) {
+        const int b = std::countr_zero(word);
+        f(static_cast<std::uint64_t>((w << 6) + b));
+        word &= word - 1;
+      }
+    }
+  }
+  template <typename F>
+  void for_each_set(F&& f) const {
+    for_each_set(0, nbits_, static_cast<F&&>(f));
+  }
+
+ private:
+  std::span<std::uint64_t> words_;
+  std::uint64_t nbits_ = 0;
+};
+
+/// Owning bitmap.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::uint64_t nbits)
+      : storage_(BitmapView::words_for(nbits), 0), nbits_(nbits) {}
+
+  BitmapView view() { return BitmapView({storage_.data(), storage_.size()}, nbits_); }
+  BitmapView view() const {
+    // Read-only users go through the same view type; the const_cast is
+    // confined here and the callers below never write through it.
+    auto* self = const_cast<Bitmap*>(this);
+    return BitmapView({self->storage_.data(), self->storage_.size()}, nbits_);
+  }
+
+  std::uint64_t size_bits() const { return nbits_; }
+
+ private:
+  std::vector<std::uint64_t> storage_;
+  std::uint64_t nbits_ = 0;
+};
+
+/// Copy `nbits` bits from (src, src_bit) to (dst, dst_bit) by OR-ing them
+/// in. Boundary words that other writers may touch concurrently are merged
+/// with atomic fetch_or; interior words use plain stores. Destination bits
+/// must be zero beforehand (frontier buffers are reset each level), which
+/// makes OR equivalent to copy.
+void copy_bits(std::span<std::uint64_t> dst, std::uint64_t dst_bit,
+               std::span<const std::uint64_t> src, std::uint64_t src_bit,
+               std::uint64_t nbits, bool atomic_boundaries);
+
+}  // namespace numabfs::graph

@@ -1,0 +1,31 @@
+#include "graph/csr.hpp"
+
+#include <cassert>
+
+namespace numabfs::graph {
+
+Csr Csr::from_edges(std::uint64_t num_vertices, std::span<const Edge> edges) {
+  Csr g;
+  g.n_ = num_vertices;
+  g.offsets_.assign(num_vertices + 1, 0);
+
+  for (const Edge& e : edges) {
+    assert(e.u < num_vertices && e.v < num_vertices);
+    if (e.u == e.v) continue;
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::uint64_t v = 0; v < num_vertices; ++v)
+    g.offsets_[v + 1] += g.offsets_[v];
+
+  g.adj_.resize(g.offsets_[num_vertices]);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    g.adj_[cursor[e.u]++] = e.v;
+    g.adj_[cursor[e.v]++] = e.u;
+  }
+  return g;
+}
+
+}  // namespace numabfs::graph

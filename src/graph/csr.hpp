@@ -1,0 +1,42 @@
+#pragma once
+/// \file csr.hpp
+/// Compressed-sparse-row adjacency for the full graph. The distributed BFS
+/// uses per-rank slices (dist_graph.hpp); the full CSR serves the serial
+/// reference BFS, validation and construction.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace numabfs::graph {
+
+class Csr {
+ public:
+  /// Build from an edge list. Undirected: every edge is stored in both
+  /// directions. Self-loops are dropped (they cannot contribute to a BFS
+  /// tree); duplicate edges are kept, as in the Graph500 reference code.
+  static Csr from_edges(std::uint64_t num_vertices, std::span<const Edge> edges);
+
+  std::uint64_t num_vertices() const { return n_; }
+  /// Directed adjacency entries stored (2x the undirected edge count).
+  std::uint64_t num_directed_edges() const { return adj_.size(); }
+
+  std::uint64_t degree(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  const std::vector<std::uint64_t>& offsets() const { return offsets_; }
+  const std::vector<Vertex>& adj() const { return adj_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<Vertex> adj_;
+};
+
+}  // namespace numabfs::graph

@@ -1,0 +1,56 @@
+#include "graph/dist_graph.hpp"
+
+#include <algorithm>
+
+namespace numabfs::graph {
+
+DistGraph DistGraph::build(const Csr& g, const Partition1D& part) {
+  DistGraph d;
+  d.n = g.num_vertices();
+  d.directed_edges = g.num_directed_edges();
+  d.part = part;
+  d.locals.resize(static_cast<size_t>(part.np()));
+
+  for (int r = 0; r < part.np(); ++r) {
+    LocalGraph& lg = d.locals[static_cast<size_t>(r)];
+    lg.vbegin = part.begin(r);
+    lg.vend = part.end(r);
+    const std::uint64_t owned = lg.owned();
+
+    // Bottom-up view: slice of the global CSR rows.
+    lg.bu_offsets.assign(owned + 1, 0);
+    for (std::uint64_t i = 0; i < owned; ++i)
+      lg.bu_offsets[i + 1] =
+          lg.bu_offsets[i] + g.degree(static_cast<Vertex>(lg.vbegin + i));
+    lg.bu_adj.resize(lg.bu_offsets[owned]);
+    for (std::uint64_t i = 0; i < owned; ++i) {
+      const auto nb = g.neighbors(static_cast<Vertex>(lg.vbegin + i));
+      std::copy(nb.begin(), nb.end(), lg.bu_adj.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              lg.bu_offsets[i]));
+    }
+
+    // Top-down view: the same pairs (u -> owned v), grouped by u.
+    std::vector<std::pair<Vertex, Vertex>> pairs;
+    pairs.reserve(lg.bu_adj.size());
+    for (std::uint64_t i = 0; i < owned; ++i)
+      for (Vertex u : lg.bu_neighbors(i))
+        pairs.emplace_back(u, static_cast<Vertex>(lg.vbegin + i));
+    std::sort(pairs.begin(), pairs.end());
+
+    lg.td_adj.resize(pairs.size());
+    lg.td_offsets.push_back(0);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (i == 0 || pairs[i].first != pairs[i - 1].first) {
+        lg.td_keys.push_back(pairs[i].first);
+        if (i != 0) lg.td_offsets.push_back(i);
+      }
+      lg.td_adj[i] = pairs[i].second;
+    }
+    lg.td_offsets.push_back(pairs.size());
+    if (lg.td_keys.empty()) lg.td_offsets.assign(1, 0);
+  }
+  return d;
+}
+
+}  // namespace numabfs::graph

@@ -1,0 +1,61 @@
+#pragma once
+/// \file dist_graph.hpp
+/// Per-rank graph slices for the distributed BFS.
+///
+/// Each rank owns a contiguous vertex block and stores two views of the
+/// edges incident to it (the graph is undirected, so these are the same
+/// edge set, indexed two ways):
+///  - bottom-up view: CSR over owned vertices v, listing global neighbors u
+///    ("search for a parent", Beamer et al.);
+///  - top-down view: the same pairs grouped by the non-owned endpoint u,
+///    so a frontier vertex u's owned children are found in one group scan.
+///
+/// Construction happens once, outside the timed region (Graph500 also
+/// excludes graph construction from TEPS).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "graph/types.hpp"
+
+namespace numabfs::graph {
+
+struct LocalGraph {
+  std::uint64_t vbegin = 0;
+  std::uint64_t vend = 0;
+
+  // Bottom-up: row r is owned vertex (vbegin + r); entries are global ids.
+  std::vector<std::uint64_t> bu_offsets;  // size owned+1
+  std::vector<Vertex> bu_adj;
+
+  // Top-down: group k covers source td_keys[k] (global, ascending) and its
+  // owned targets td_adj[td_offsets[k] .. td_offsets[k+1]).
+  std::vector<Vertex> td_keys;
+  std::vector<std::uint64_t> td_offsets;  // size td_keys.size()+1
+  std::vector<Vertex> td_adj;
+
+  std::uint64_t owned() const { return vend - vbegin; }
+  std::uint64_t owned_edges() const { return bu_adj.size(); }
+
+  std::span<const Vertex> bu_neighbors(std::uint64_t local_v) const {
+    return {bu_adj.data() + bu_offsets[local_v],
+            bu_adj.data() + bu_offsets[local_v + 1]};
+  }
+  std::span<const Vertex> td_group(std::size_t k) const {
+    return {td_adj.data() + td_offsets[k], td_adj.data() + td_offsets[k + 1]};
+  }
+};
+
+struct DistGraph {
+  std::uint64_t n = 0;
+  std::uint64_t directed_edges = 0;  ///< total adjacency entries (= 2m)
+  Partition1D part{1, 1};
+  std::vector<LocalGraph> locals;
+
+  static DistGraph build(const Csr& g, const Partition1D& part);
+};
+
+}  // namespace numabfs::graph

@@ -1,0 +1,71 @@
+#include "graph/edgelist_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace numabfs::graph {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'B', 'F', 'S', 'E', 'L', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("edgelist_io: " + what + ": " + path);
+}
+
+}  // namespace
+
+void save_edges(const std::string& path, std::uint64_t num_vertices,
+                std::span<const Edge> edges) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) fail("cannot open for writing", path);
+  const std::uint64_t count = edges.size();
+  if (std::fwrite(kMagic, 1, sizeof kMagic, f.get()) != sizeof kMagic ||
+      std::fwrite(&num_vertices, sizeof num_vertices, 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof count, 1, f.get()) != 1)
+    fail("header write failed", path);
+  static_assert(sizeof(Edge) == 2 * sizeof(Vertex),
+                "Edge must be two packed vertex ids");
+  if (count != 0 &&
+      std::fwrite(edges.data(), sizeof(Edge), count, f.get()) != count)
+    fail("payload write failed", path);
+  if (std::fflush(f.get()) != 0) fail("flush failed", path);
+}
+
+LoadedEdges load_edges(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) fail("cannot open for reading", path);
+
+  char magic[sizeof kMagic];
+  LoadedEdges out;
+  std::uint64_t count = 0;
+  if (std::fread(magic, 1, sizeof magic, f.get()) != sizeof magic ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0)
+    fail("bad magic (not a numabfs edge list)", path);
+  if (std::fread(&out.num_vertices, sizeof out.num_vertices, 1, f.get()) != 1 ||
+      std::fread(&count, sizeof count, 1, f.get()) != 1)
+    fail("truncated header", path);
+  if (out.num_vertices == 0 ||
+      out.num_vertices > (1ull << 32))
+    fail("implausible vertex count", path);
+
+  out.edges.resize(count);
+  if (count != 0 &&
+      std::fread(out.edges.data(), sizeof(Edge), count, f.get()) != count)
+    fail("truncated payload", path);
+  for (const Edge& e : out.edges)
+    if (e.u >= out.num_vertices || e.v >= out.num_vertices)
+      fail("vertex id out of range", path);
+  return out;
+}
+
+}  // namespace numabfs::graph

@@ -1,0 +1,31 @@
+#pragma once
+/// \file edgelist_io.hpp
+/// Binary edge-list persistence, so expensive generator runs (or external
+/// graphs) can be reused across experiments. Format: 8-byte magic
+/// "NBFSEL01", u64 vertex count, u64 edge count, then (u32 u, u32 v) pairs,
+/// all little-endian host order.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace numabfs::graph {
+
+struct LoadedEdges {
+  std::uint64_t num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+/// Write an edge list; throws std::runtime_error on I/O failure.
+void save_edges(const std::string& path, std::uint64_t num_vertices,
+                std::span<const Edge> edges);
+
+/// Read an edge list; throws std::runtime_error on I/O failure or a
+/// malformed/corrupt file (bad magic, truncated payload, vertex ids out of
+/// range).
+LoadedEdges load_edges(const std::string& path);
+
+}  // namespace numabfs::graph

@@ -1,0 +1,30 @@
+#include "graph/reference_bfs.hpp"
+
+#include <deque>
+
+namespace numabfs::graph {
+
+BfsTree reference_bfs(const Csr& g, Vertex root) {
+  BfsTree t;
+  t.parent.assign(g.num_vertices(), kNoVertex);
+  t.depth.assign(g.num_vertices(), 0);
+  std::deque<Vertex> q;
+  t.parent[root] = root;
+  t.visited = 1;
+  q.push_back(root);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop_front();
+    for (Vertex u : g.neighbors(v)) {
+      if (t.parent[u] == kNoVertex) {
+        t.parent[u] = v;
+        t.depth[u] = t.depth[v] + 1;
+        ++t.visited;
+        q.push_back(u);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace numabfs::graph

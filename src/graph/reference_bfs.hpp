@@ -1,0 +1,24 @@
+#pragma once
+/// \file reference_bfs.hpp
+/// Textbook serial BFS over the full CSR — the oracle the distributed
+/// implementations are validated against.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace numabfs::graph {
+
+struct BfsTree {
+  std::vector<Vertex> parent;       ///< kNoVertex where unreached
+  std::vector<std::uint32_t> depth; ///< undefined where unreached
+  std::uint64_t visited = 0;
+
+  bool reached(Vertex v) const { return parent[v] != kNoVertex; }
+};
+
+BfsTree reference_bfs(const Csr& g, Vertex root);
+
+}  // namespace numabfs::graph

@@ -1,0 +1,89 @@
+#include "graph/rmat.hpp"
+
+#include <cassert>
+
+namespace numabfs::graph {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+/// Uniform double in [0,1) from a counter-based stream.
+double u01(std::uint64_t seed, std::uint64_t ctr) {
+  return static_cast<double>(splitmix64(seed ^ ctr * 0x2545f4914f6cdd1dull) >>
+                             11) *
+         (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+/// Unbalanced Feistel network over `scale` bits: bijective for any round
+/// count because each round (L,R) -> (R, L ^ F(R)) is invertible.
+Vertex feistel(std::uint64_t key, int scale, Vertex v) {
+  if (scale <= 1) return v;  // 0/1-bit domains: identity
+  const int h2 = scale / 2;        // low half width
+  const int h1 = scale - h2;       // high half width
+  std::uint64_t l = static_cast<std::uint64_t>(v) >> h2;
+  std::uint64_t r = v & ((1ull << h2) - 1);
+  int wl = h1, wr = h2;
+  for (int round = 0; round < 4; ++round) {
+    const std::uint64_t f =
+        splitmix64(key ^ (r << 8) ^ static_cast<std::uint64_t>(round)) &
+        ((1ull << wl) - 1);
+    const std::uint64_t nl = r;
+    const std::uint64_t nr = l ^ f;
+    l = nl;
+    r = nr;
+    std::swap(wl, wr);
+  }
+  // After an even number of rounds the widths are back to (h1, h2).
+  return static_cast<Vertex>((l << h2) | r);
+}
+
+}  // namespace
+
+Vertex rmat_permute_label(const RmatParams& p, Vertex v) {
+  if (!p.permute_labels) return v;
+  return feistel(splitmix64(p.seed ^ 0xfeedfacecafebeefull), p.scale, v);
+}
+
+std::vector<Edge> rmat_edge_range(const RmatParams& p, std::uint64_t first,
+                                  std::uint64_t count) {
+  assert(p.scale >= 1 && p.scale <= 31);
+  assert(p.a + p.b + p.c < 1.0);
+  std::vector<Edge> edges;
+  edges.reserve(count);
+  const double ab = p.a + p.b;
+  const double abc = p.a + p.b + p.c;
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    const std::uint64_t eseed = splitmix64(p.seed + i);
+    std::uint64_t u = 0, v = 0;
+    for (int level = 0; level < p.scale; ++level) {
+      const double x = u01(eseed, static_cast<std::uint64_t>(level));
+      u <<= 1;
+      v <<= 1;
+      if (x < p.a) {
+        // top-left quadrant: no bits set
+      } else if (x < ab) {
+        v |= 1;
+      } else if (x < abc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    edges.push_back(Edge{rmat_permute_label(p, static_cast<Vertex>(u)),
+                         rmat_permute_label(p, static_cast<Vertex>(v))});
+  }
+  return edges;
+}
+
+std::vector<Edge> rmat_edges(const RmatParams& p) {
+  return rmat_edge_range(p, 0, p.num_edges());
+}
+
+}  // namespace numabfs::graph

@@ -1,0 +1,24 @@
+#pragma once
+/// \file types.hpp
+/// Shared vertex/edge types for the graph kit.
+
+#include <cstdint>
+#include <limits>
+
+namespace numabfs::graph {
+
+/// Vertex id. 32-bit: the simulator targets scales <= 31 (the paper's
+/// scale-32 ratios are reproduced via the cost model's capacity scaling,
+/// see numasim/cost_params.hpp).
+using Vertex = std::uint32_t;
+
+/// Sentinel for "no parent / not visited".
+inline constexpr Vertex kNoVertex = std::numeric_limits<Vertex>::max();
+
+struct Edge {
+  Vertex u;
+  Vertex v;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace numabfs::graph

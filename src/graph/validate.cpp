@@ -1,0 +1,114 @@
+#include "graph/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "graph/reference_bfs.hpp"
+
+namespace numabfs::graph {
+
+namespace {
+
+std::string vfmt(const char* what, std::uint64_t v) {
+  std::ostringstream os;
+  os << what << " (vertex " << v << ")";
+  return os.str();
+}
+
+}  // namespace
+
+ValidationResult validate_bfs_tree(const Csr& g, Vertex root,
+                                   std::span<const Vertex> parent) {
+  ValidationResult r;
+  const std::uint64_t n = g.num_vertices();
+  if (parent.size() != n) {
+    r.error = "parent array size mismatch";
+    return r;
+  }
+  if (root >= n || parent[root] != root) {
+    r.error = "root is not its own parent";
+    return r;
+  }
+
+  // Depths via parent chains, with cycle detection (iterative memoization).
+  constexpr std::uint32_t kUnknown = 0xffffffffu;
+  std::vector<std::uint32_t> depth(n, kUnknown);
+  depth[root] = 0;
+  std::vector<Vertex> chain;
+  for (std::uint64_t v0 = 0; v0 < n; ++v0) {
+    if (parent[v0] == kNoVertex || depth[v0] != kUnknown) continue;
+    chain.clear();
+    Vertex v = static_cast<Vertex>(v0);
+    while (depth[v] == kUnknown) {
+      chain.push_back(v);
+      const Vertex p = parent[v];
+      if (p == kNoVertex) {
+        r.error = vfmt("tree vertex has unreached parent", v);
+        return r;
+      }
+      if (p >= n) {
+        r.error = vfmt("parent out of range", v);
+        return r;
+      }
+      if (chain.size() > n) {
+        r.error = "cycle in parent chain";
+        return r;
+      }
+      v = p;
+    }
+    std::uint32_t d = depth[v];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) depth[*it] = ++d;
+  }
+
+  // Tree edges must be real edges (skip the root's self-edge).
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const Vertex p = parent[v];
+    if (p == kNoVertex || v == root) continue;
+    const auto nb = g.neighbors(static_cast<Vertex>(v));
+    if (std::find(nb.begin(), nb.end(), p) == nb.end()) {
+      r.error = vfmt("tree edge not present in graph", v);
+      return r;
+    }
+    if (depth[v] != depth[p] + 1) {
+      r.error = vfmt("tree edge does not span one level", v);
+      return r;
+    }
+  }
+
+  // Every graph edge: endpoints visited together, depths differ by <= 1.
+  for (std::uint64_t u = 0; u < n; ++u) {
+    const bool uv = parent[u] != kNoVertex;
+    for (Vertex w : g.neighbors(static_cast<Vertex>(u))) {
+      const bool wv = parent[w] != kNoVertex;
+      if (uv != wv) {
+        r.error = vfmt("edge crosses the visited boundary", u);
+        return r;
+      }
+      if (uv && (depth[u] > depth[w] + 1 || depth[w] > depth[u] + 1)) {
+        r.error = vfmt("edge spans more than one level", u);
+        return r;
+      }
+      if (uv) ++r.directed_edges_in_component;
+    }
+    if (uv) ++r.visited;
+  }
+
+  // Visited set must be exactly the root's component.
+  const BfsTree ref = reference_bfs(g, root);
+  if (ref.visited != r.visited) {
+    r.error = "visited count differs from reference BFS";
+    return r;
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if ((parent[v] != kNoVertex) != ref.reached(static_cast<Vertex>(v))) {
+      r.error = vfmt("visited set differs from reference BFS", v);
+      return r;
+    }
+  }
+
+  r.ok = true;
+  return r;
+}
+
+}  // namespace numabfs::graph

@@ -1,0 +1,32 @@
+#pragma once
+/// \file validate.hpp
+/// Graph500-style validation of a BFS parent tree (spec section "Kernel 2
+/// validation"): tree edges exist in the graph, depths are consistent, the
+/// visited set is exactly the root's connected component, and every graph
+/// edge connects vertices whose depths differ by at most one.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace numabfs::graph {
+
+struct ValidationResult {
+  bool ok = false;
+  std::string error;                   ///< empty when ok
+  std::uint64_t visited = 0;           ///< vertices in the tree
+  std::uint64_t directed_edges_in_component = 0;  ///< for TEPS accounting
+
+  /// Undirected edges traversed (the Graph500 TEPS numerator).
+  std::uint64_t traversed_edges() const {
+    return directed_edges_in_component / 2;
+  }
+};
+
+ValidationResult validate_bfs_tree(const Csr& g, Vertex root,
+                                   std::span<const Vertex> parent);
+
+}  // namespace numabfs::graph

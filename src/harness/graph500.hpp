@@ -1,0 +1,93 @@
+#pragma once
+/// \file graph500.hpp
+/// Graph500-style evaluation harness (the paper's Section IV method):
+/// generate one R-MAT graph, select roots, run N BFS iterations per
+/// variant, and report the harmonic-mean TEPS plus the per-phase breakdown
+/// averaged over iterations. All times are virtual (see DESIGN.md §5).
+
+#include <cstdint>
+#include <vector>
+
+#include "bfs/config.hpp"
+#include "bfs/hybrid.hpp"
+#include "graph/csr.hpp"
+#include "graph/dist_graph.hpp"
+#include "graph/rmat.hpp"
+#include "numasim/topology.hpp"
+#include "runtime/cluster.hpp"
+
+namespace numabfs::harness {
+
+/// One generated graph plus its evaluation roots, shared across cluster
+/// shapes and variants so comparisons see identical inputs.
+struct GraphBundle {
+  graph::RmatParams params;
+  graph::Csr csr;
+  std::vector<graph::Vertex> roots;  ///< distinct, degree > 0
+
+  static GraphBundle make(int scale, int edgefactor = 16,
+                          std::uint64_t seed = 20120924, int max_roots = 64);
+
+  /// Build from an external edge list (e.g. loaded via
+  /// graph::load_edges) instead of the generator. `params.scale` is set to
+  /// ceil(log2(num_vertices)) for reporting; roots are selected the same
+  /// deterministic way.
+  static GraphBundle from_edges(std::uint64_t num_vertices,
+                                std::span<const graph::Edge> edges,
+                                std::uint64_t seed = 20120924,
+                                int max_roots = 64);
+};
+
+/// Aggregated result of one variant evaluation.
+struct EvalResult {
+  double harmonic_teps = 0;  ///< the Graph500 figure of merit
+  double mean_time_ns = 0;
+  std::uint64_t visited_mean = 0;
+  int roots = 0;
+
+  sim::PhaseProfile profile;  ///< per-rank mean, then averaged over roots
+  double avg_bu_comm_phase_ns = 0;  ///< mean bottom-up comm phase (Fig. 13)
+  double bu_comm_fraction = 0;  ///< bu_comm / total (Figs. 12/14)
+  int mean_bu_levels = 0;
+
+  std::vector<bfs::BfsRunResult> per_root;
+};
+
+struct ExperimentOptions {
+  int nodes = 1;
+  int ppn = 8;
+  /// Scale the cache model so structure:LLC ratios match the paper's
+  /// scale-32 runs (DESIGN.md §5).
+  bool paper_cache_scaling = true;
+  int weak_node = -1;          ///< node with degraded NIC (paper Fig. 13/15)
+  double weak_node_factor = 0.5;
+  sim::CostParams params{};    ///< base cost parameters (pre-scaling)
+};
+
+/// A cluster shape bound to a shared graph: builds the distributed slices
+/// once, then evaluates variants on them.
+class Experiment {
+ public:
+  Experiment(const GraphBundle& bundle, const ExperimentOptions& opt);
+
+  /// Run `num_roots` BFS iterations (<= bundle roots) under `cfg`.
+  EvalResult run(const bfs::Config& cfg, int num_roots);
+
+  /// Run one root and return (result, parent array) for validation.
+  std::pair<bfs::BfsRunResult, std::vector<graph::Vertex>> run_validated(
+      const bfs::Config& cfg, graph::Vertex root);
+
+  rt::Cluster& cluster() { return cluster_; }
+  const graph::DistGraph& dist() const { return dist_; }
+  const GraphBundle& bundle() const { return bundle_; }
+
+ private:
+  const GraphBundle& bundle_;
+  rt::Cluster cluster_;
+  graph::DistGraph dist_;
+};
+
+/// Harmonic mean (the Graph500 aggregation for TEPS).
+double harmonic_mean(const std::vector<double>& xs);
+
+}  // namespace numabfs::harness

@@ -1,0 +1,50 @@
+#include "harness/options.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace numabfs::harness {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("Options: expected --key[=value], got " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos)
+      kv_[arg] = "true";
+    else
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+}
+
+int Options::get_int(const std::string& key, int def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::stoi(it->second);
+}
+
+std::uint64_t Options::get_u64(const std::string& key,
+                               std::uint64_t def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::stoull(it->second);
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::stod(it->second);
+}
+
+std::string Options::get_str(const std::string& key,
+                             const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace numabfs::harness

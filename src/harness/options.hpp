@@ -1,0 +1,28 @@
+#pragma once
+/// \file options.hpp
+/// Minimal --key=value command-line parsing shared by benches and examples.
+/// Every bench accepts at least --scale, --roots and --seed so the paper's
+/// experiments can be rerun at larger sizes than the fast defaults.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace numabfs::harness {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+  int get_int(const std::string& key, int def) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  std::string get_str(const std::string& key, const std::string& def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace numabfs::harness

@@ -1,0 +1,205 @@
+#include "harness/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace numabfs::harness {
+
+namespace {
+
+// Layout constants (pixels).
+constexpr double kWidth = 860, kHeight = 480;
+constexpr double kLeft = 90, kRight = 30, kTop = 60, kBottom = 80;
+constexpr double kPlotW = kWidth - kLeft - kRight;
+constexpr double kPlotH = kHeight - kTop - kBottom;
+
+const char* kPalette[] = {"#4878d0", "#ee854a", "#6acc64", "#d65f5f",
+                          "#956cb4", "#8c613c", "#dc7ec0", "#797979"};
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+/// A "nice" tick step covering [0, vmax] in ~5 steps.
+double nice_step(double vmax) {
+  if (vmax <= 0) return 1.0;
+  const double raw = vmax / 5.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (double m : {1.0, 2.0, 5.0, 10.0})
+    if (raw <= m * mag) return m * mag;
+  return 10.0 * mag;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Shared chrome: canvas, axes, y grid/ticks, labels; `body` is the marks.
+std::string render_frame(const std::string& title, const std::string& x_label,
+                         const std::string& y_label, double vmax,
+                         std::ostringstream& body) {
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << kWidth
+     << "' height='" << kHeight << "' viewBox='0 0 " << kWidth << " "
+     << kHeight << "'>\n"
+     << "<rect width='100%' height='100%' fill='white'/>\n"
+     << "<text x='" << kWidth / 2 << "' y='28' text-anchor='middle' "
+        "font-family='sans-serif' font-size='18'>"
+     << escape(title) << "</text>\n";
+
+  // Axes.
+  os << "<line x1='" << kLeft << "' y1='" << kTop << "' x2='" << kLeft
+     << "' y2='" << kTop + kPlotH << "' stroke='black'/>\n"
+     << "<line x1='" << kLeft << "' y1='" << kTop + kPlotH << "' x2='"
+     << kLeft + kPlotW << "' y2='" << kTop + kPlotH << "' stroke='black'/>\n";
+
+  // Y grid + ticks.
+  const double step = nice_step(vmax);
+  for (double v = 0; v <= vmax * 1.0001; v += step) {
+    const double y = kTop + kPlotH - v / vmax * kPlotH;
+    os << "<line x1='" << kLeft << "' y1='" << y << "' x2='" << kLeft + kPlotW
+       << "' y2='" << y << "' stroke='#dddddd'/>\n"
+       << "<text x='" << kLeft - 8 << "' y='" << y + 4
+       << "' text-anchor='end' font-family='sans-serif' font-size='12'>"
+       << fmt(v) << "</text>\n";
+  }
+
+  // Axis labels.
+  os << "<text x='" << kLeft + kPlotW / 2 << "' y='" << kHeight - 12
+     << "' text-anchor='middle' font-family='sans-serif' font-size='14'>"
+     << escape(x_label) << "</text>\n"
+     << "<text x='18' y='" << kTop + kPlotH / 2
+     << "' text-anchor='middle' font-family='sans-serif' font-size='14' "
+        "transform='rotate(-90 18 "
+     << kTop + kPlotH / 2 << ")'>" << escape(y_label) << "</text>\n";
+
+  os << body.str() << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string SvgChart::render_bars() const {
+  double vmax = 0;
+  for (const auto& s : series_)
+    for (double v : s.values)
+      if (std::isfinite(v)) vmax = std::max(vmax, v);
+  if (vmax <= 0) vmax = 1;
+
+  std::ostringstream body;
+  const std::size_t ngroups = categories_.size();
+  const std::size_t nseries = std::max<std::size_t>(1, series_.size());
+  const double group_w = kPlotW / std::max<std::size_t>(1, ngroups);
+  const double bar_w = group_w * 0.8 / static_cast<double>(nseries);
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char* color = kPalette[si % std::size(kPalette)];
+    for (std::size_t gi = 0; gi < ngroups; ++gi) {
+      if (gi >= series_[si].values.size()) continue;
+      const double v = series_[si].values[gi];
+      if (!std::isfinite(v)) continue;
+      const double h = v / vmax * kPlotH;
+      const double x = kLeft + static_cast<double>(gi) * group_w +
+                       group_w * 0.1 + static_cast<double>(si) * bar_w;
+      body << "<rect x='" << x << "' y='" << kTop + kPlotH - h << "' width='"
+           << bar_w * 0.92 << "' height='" << h << "' fill='" << color
+           << "'/>\n";
+    }
+  }
+  // Category labels.
+  for (std::size_t gi = 0; gi < ngroups; ++gi)
+    body << "<text x='" << kLeft + (static_cast<double>(gi) + 0.5) * group_w
+         << "' y='" << kTop + kPlotH + 18
+         << "' text-anchor='middle' font-family='sans-serif' font-size='12'>"
+         << escape(categories_[gi]) << "</text>\n";
+  // Legend.
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const double y = kTop + 4 + static_cast<double>(si) * 18;
+    body << "<rect x='" << kLeft + kPlotW - 170 << "' y='" << y
+         << "' width='12' height='12' fill='"
+         << kPalette[si % std::size(kPalette)] << "'/>\n"
+         << "<text x='" << kLeft + kPlotW - 152 << "' y='" << y + 10
+         << "' font-family='sans-serif' font-size='12'>"
+         << escape(series_[si].name) << "</text>\n";
+  }
+
+  return render_frame(title_, x_label_, y_label_, vmax, body);
+}
+
+std::string SvgChart::render_lines() const {
+  double vmax = 0;
+  for (const auto& s : series_)
+    for (double v : s.values)
+      if (std::isfinite(v)) vmax = std::max(vmax, v);
+  if (vmax <= 0) vmax = 1;
+
+  std::ostringstream body;
+  const std::size_t npts = categories_.size();
+  const double dx = kPlotW / std::max<std::size_t>(1, npts - 1);
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char* color = kPalette[si % std::size(kPalette)];
+    std::ostringstream pts;
+    for (std::size_t pi = 0; pi < npts && pi < series_[si].values.size();
+         ++pi) {
+      const double v = series_[si].values[pi];
+      if (!std::isfinite(v)) continue;
+      const double x = kLeft + static_cast<double>(pi) * dx;
+      const double y = kTop + kPlotH - v / vmax * kPlotH;
+      pts << (pts.tellp() > 0 ? " " : "") << fmt(x) << "," << fmt(y);
+      body << "<circle cx='" << x << "' cy='" << y << "' r='3.5' fill='"
+           << color << "'/>\n";
+    }
+    body << "<polyline points='" << pts.str() << "' fill='none' stroke='"
+         << color << "' stroke-width='2'/>\n";
+  }
+  for (std::size_t pi = 0; pi < npts; ++pi)
+    body << "<text x='" << kLeft + static_cast<double>(pi) * dx << "' y='"
+         << kTop + kPlotH + 18
+         << "' text-anchor='middle' font-family='sans-serif' font-size='12'>"
+         << escape(categories_[pi]) << "</text>\n";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const double y = kTop + 4 + static_cast<double>(si) * 18;
+    body << "<rect x='" << kLeft + 10 << "' y='" << y
+         << "' width='12' height='12' fill='"
+         << kPalette[si % std::size(kPalette)] << "'/>\n"
+         << "<text x='" << kLeft + 28 << "' y='" << y + 10
+         << "' font-family='sans-serif' font-size='12'>"
+         << escape(series_[si].name) << "</text>\n";
+  }
+
+  return render_frame(title_, x_label_, y_label_, vmax, body);
+}
+
+namespace {
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("SvgChart: cannot open " + path);
+  f << content;
+  if (!f) throw std::runtime_error("SvgChart: write failed " + path);
+}
+}  // namespace
+
+void SvgChart::write_bars(const std::string& path) const {
+  write_file(path, render_bars());
+}
+void SvgChart::write_lines(const std::string& path) const {
+  write_file(path, render_lines());
+}
+
+}  // namespace numabfs::harness

@@ -1,0 +1,49 @@
+#pragma once
+/// \file svg.hpp
+/// Dependency-free SVG chart emitter, so the bench binaries can regenerate
+/// the paper's *figures*, not just their tables (`--svg=DIR` on the key
+/// benches). Supports grouped bar charts (Figs. 9/10/13) and line charts
+/// (Figs. 12/15/16). Output is deterministic.
+
+#include <string>
+#include <vector>
+
+namespace numabfs::harness {
+
+class SvgChart {
+ public:
+  SvgChart(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  /// X-axis category labels (one per group/point).
+  void set_categories(std::vector<std::string> cats) {
+    categories_ = std::move(cats);
+  }
+  /// One series = one bar color / one line. Values align with categories;
+  /// use NaN for a missing point.
+  void add_series(const std::string& name, std::vector<double> values) {
+    series_.push_back({name, std::move(values)});
+  }
+
+  /// Render as grouped bars / as lines with markers.
+  std::string render_bars() const;
+  std::string render_lines() const;
+
+  /// Convenience: render and write to `path`; throws on I/O failure.
+  void write_bars(const std::string& path) const;
+  void write_lines(const std::string& path) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> values;
+  };
+
+  std::string title_, x_label_, y_label_;
+  std::vector<std::string> categories_;
+  std::vector<Series> series_;
+};
+
+}  // namespace numabfs::harness

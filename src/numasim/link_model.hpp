@@ -1,0 +1,68 @@
+#pragma once
+/// \file link_model.hpp
+/// alpha-beta + contention transfer model for the two transports BFS
+/// communication uses: intra-node shared-memory copies (crossing the QPI
+/// mesh) and inter-node InfiniBand.
+///
+/// The NIC saturation curve reproduces the paper's Fig. 4: one flow per node
+/// reaches roughly half of the dual-port peak, eight concurrent flows ~90%.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "numasim/cost_params.hpp"
+#include "numasim/topology.hpp"
+
+namespace numabfs::sim {
+
+class LinkModel {
+ public:
+  LinkModel(const CostParams& cp, const Topology& topo) : cp_(cp), topo_(topo) {}
+
+  /// Aggregate egress bandwidth (bytes/ns) a node achieves with `flows`
+  /// concurrent inter-node flows; `nic_factor` scales for the weak node.
+  double nic_node_bw(int flows, double nic_factor = 1.0) const {
+    const double peak = cp_.nic_port_bw *
+                        static_cast<double>(topo_.nic_ports_per_node()) *
+                        nic_factor;
+    const double f = static_cast<double>(std::max(1, flows));
+    return peak * f / (f + cp_.nic_saturation_k);
+  }
+
+  /// Per-flow bandwidth when `flows` flows share one node's NIC(s).
+  double nic_flow_bw(int flows, double nic_factor = 1.0) const {
+    const double per_flow =
+        nic_node_bw(flows, nic_factor) / static_cast<double>(std::max(1, flows));
+    return std::min(per_flow, cp_.nic_port_bw * nic_factor);
+  }
+
+  /// Time for one flow to move `bytes` between two nodes while `flows`
+  /// flows share the tighter of the two nodes' NICs.
+  double nic_transfer_ns(std::uint64_t bytes, int flows, int node_a,
+                         int node_b) const {
+    const double factor =
+        std::min(topo_.nic_factor(node_a), topo_.nic_factor(node_b));
+    return cp_.nic_msg_latency_ns +
+           static_cast<double>(bytes) / nic_flow_bw(flows, factor);
+  }
+
+  /// Per-flow bandwidth of an intra-node copy when `flows` concurrent
+  /// copies target the same socket's memory system.
+  double shm_flow_bw(int flows) const {
+    const double per_flow =
+        cp_.socket_mem_ceiling / static_cast<double>(std::max(1, flows));
+    return std::min(cp_.shm_copy_bw, per_flow);
+  }
+
+  /// Time to copy `bytes` between two sockets of a node, `flows` sharing
+  /// the destination's memory system.
+  double shm_copy_ns(std::uint64_t bytes, int flows) const {
+    return static_cast<double>(bytes) / shm_flow_bw(flows);
+  }
+
+ private:
+  CostParams cp_;
+  Topology topo_;
+};
+
+}  // namespace numabfs::sim

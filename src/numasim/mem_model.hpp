@@ -1,0 +1,59 @@
+#pragma once
+/// \file mem_model.hpp
+/// Prices memory accesses under the placement policies the paper studies.
+///
+/// A *placement* says where a structure's pages live relative to the probing
+/// socket; combined with the cache model it yields a per-probe cost in
+/// nanoseconds. The BFS kernels count real probe events and multiply by
+/// these unit costs — the counts are measured, only the unit cost is modeled.
+
+#include <cstdint>
+
+#include "numasim/cache_model.hpp"
+#include "numasim/cost_params.hpp"
+#include "numasim/topology.hpp"
+
+namespace numabfs::sim {
+
+/// Where a structure's pages live relative to the socket probing it.
+enum class Placement {
+  socket_local,  ///< all pages in the prober's socket (ppn=8 + bind)
+  interleaved,   ///< round-robin across the node's sockets (numactl --interleave)
+  node_shared,   ///< one copy shared by all sockets of a node (mmap sharing)
+  single_home,   ///< all pages first-touched onto one socket (the noflag case)
+};
+
+const char* to_string(Placement p);
+
+class MemModel {
+ public:
+  MemModel(const CostParams& cp, const Topology& topo);
+
+  /// Cost of one uniform-random probe into a structure of `structure_bytes`.
+  /// `sharing_sockets` > 1 means the copy is shared by that many sockets
+  /// (enlarging effective cache, Section III.A). `full_node_load` marks
+  /// phases where every socket of the node is probing concurrently, which
+  /// congests the QPI mesh for any cross-socket placement.
+  double probe_ns(Placement p, std::uint64_t structure_bytes,
+                  int sharing_sockets, bool full_node_load) const;
+
+  /// Cost per byte of a sequential streaming pass (rebuilds, conversions).
+  double stream_ns_per_byte(Placement p) const;
+
+  /// Intra-socket OpenMP scaling: speedup of T threads over one.
+  double omp_speedup(int threads) const;
+
+  /// Average remote-DRAM latency over all unequal socket pairs of a node
+  /// (mixes 1-hop and 2-hop QPI distances).
+  double avg_remote_dram_ns() const { return avg_remote_dram_; }
+
+  const CacheModel& cache() const { return cache_; }
+
+ private:
+  CostParams cp_;
+  Topology topo_;
+  CacheModel cache_;
+  double avg_remote_dram_ = 0.0;
+};
+
+}  // namespace numabfs::sim

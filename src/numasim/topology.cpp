@@ -1,0 +1,64 @@
+#include "numasim/topology.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace numabfs::sim {
+
+Topology Topology::xeon_x7550_cluster(int nodes) {
+  Params p;
+  p.nodes = nodes;
+  p.sockets_per_node = 8;
+  p.cores_per_socket = 8;
+  p.llc_bytes_per_socket = 18ull << 20;
+  p.dram_bytes_per_socket = 32ull << 30;
+  p.nic_ports_per_node = 2;
+  return Topology(p);
+}
+
+Topology Topology::single_socket(int cores) {
+  Params p;
+  p.nodes = 1;
+  p.sockets_per_node = 1;
+  p.cores_per_socket = cores;
+  p.llc_bytes_per_socket = 18ull << 20;
+  p.dram_bytes_per_socket = 32ull << 30;
+  p.nic_ports_per_node = 1;
+  return Topology(p);
+}
+
+int Topology::qpi_hops(int socket_a, int socket_b) const {
+  if (socket_a == socket_b) return 0;
+  if (p_.sockets_per_node <= 4) return 1;  // small meshes are fully connected
+  // 3-cube links (differ in one bit) plus the long diagonal (differ in all
+  // three bits) give four links per socket; everything else is two hops.
+  const unsigned diff = static_cast<unsigned>(socket_a ^ socket_b) & 7u;
+  const int bits = std::popcount(diff);
+  return (bits == 1 || bits == 3) ? 1 : 2;
+}
+
+Topology Topology::with_weak_node(int node, double factor) const {
+  Params p = p_;
+  p.weak_node = node;
+  p.weak_node_factor = factor;
+  return Topology(p);
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << "Cluster: " << p_.nodes << " node(s), " << total_cores() << " cores total\n"
+     << "Per node:\n"
+     << "  " << p_.sockets_per_node << " sockets x " << p_.cores_per_socket
+     << " cores\n"
+     << "  " << (p_.llc_bytes_per_socket >> 20) << " MB shared L3 per socket\n"
+     << "  " << (p_.dram_bytes_per_socket >> 30) << " GB DRAM per socket ("
+     << ((p_.dram_bytes_per_socket * static_cast<std::uint64_t>(p_.sockets_per_node)) >> 30)
+     << " GB per node)\n"
+     << "  " << p_.nic_ports_per_node << " NIC port(s)\n";
+  if (p_.weak_node >= 0)
+    os << "  weak node: " << p_.weak_node << " (NIC x" << p_.weak_node_factor
+       << ")\n";
+  return os.str();
+}
+
+}  // namespace numabfs::sim

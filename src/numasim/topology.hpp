@@ -1,0 +1,90 @@
+#pragma once
+/// \file topology.hpp
+/// Static description of the simulated NUMA cluster: nodes, sockets, cores,
+/// caches, the intra-node QPI mesh and the per-node NICs.
+///
+/// The default preset, `Topology::xeon_x7550_cluster()`, models Table I of
+/// Cui et al. (CLUSTER 2012): 16 nodes, each with eight Intel Xeon X7550
+/// sockets (8 cores, 18 MB shared L3, four 6.4 GT/s QPI links) and two
+/// 40 Gb/s InfiniBand ports.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace numabfs::sim {
+
+/// Identifies one socket in the cluster as (node, socket-within-node).
+struct SocketId {
+  int node = 0;
+  int socket = 0;
+  friend bool operator==(const SocketId&, const SocketId&) = default;
+};
+
+/// Immutable cluster shape. All counts are per the level above them
+/// (sockets per node, cores per socket, ...).
+class Topology {
+ public:
+  struct Params {
+    int nodes = 1;
+    int sockets_per_node = 8;
+    int cores_per_socket = 8;
+    std::uint64_t llc_bytes_per_socket = 18ull << 20;   ///< shared L3 per CPU
+    std::uint64_t dram_bytes_per_socket = 32ull << 30;  ///< 256 GB / 8 sockets
+    int nic_ports_per_node = 2;                         ///< dual InfiniBand
+    /// NIC bandwidth multiplier applied to `weak_node` (the paper reports one
+    /// of its 16 nodes had degraded InfiniBand performance).
+    double weak_node_factor = 1.0;
+    int weak_node = -1;  ///< node index with degraded NIC; -1 disables
+  };
+
+  explicit Topology(const Params& p) : p_(p) {
+    if (p.nodes < 1 || p.sockets_per_node < 1 || p.cores_per_socket < 1)
+      throw std::invalid_argument("Topology: counts must be >= 1");
+    if (p.nic_ports_per_node < 1)
+      throw std::invalid_argument("Topology: need at least one NIC port");
+    if (p.weak_node >= p.nodes)
+      throw std::invalid_argument("Topology: weak_node out of range");
+  }
+
+  /// Table I preset: `nodes` eight-socket Xeon X7550 machines.
+  static Topology xeon_x7550_cluster(int nodes);
+
+  /// Single-socket commodity box (used by unit tests and the quickstart).
+  static Topology single_socket(int cores = 8);
+
+  int nodes() const { return p_.nodes; }
+  int sockets_per_node() const { return p_.sockets_per_node; }
+  int cores_per_socket() const { return p_.cores_per_socket; }
+  int cores_per_node() const { return p_.sockets_per_node * p_.cores_per_socket; }
+  int total_cores() const { return p_.nodes * cores_per_node(); }
+  int total_sockets() const { return p_.nodes * p_.sockets_per_node; }
+  std::uint64_t llc_bytes_per_socket() const { return p_.llc_bytes_per_socket; }
+  std::uint64_t dram_bytes_per_socket() const { return p_.dram_bytes_per_socket; }
+  int nic_ports_per_node() const { return p_.nic_ports_per_node; }
+
+  /// NIC bandwidth multiplier for `node` (see Params::weak_node).
+  double nic_factor(int node) const {
+    return node == p_.weak_node ? p_.weak_node_factor : 1.0;
+  }
+  int weak_node() const { return p_.weak_node; }
+
+  /// QPI hop count between two sockets of the *same* node: 0 if identical,
+  /// 1 if directly linked, 2 otherwise. The 8-socket X7550 topology (Fig. 2)
+  /// gives each socket four QPI links; we model it as a 3-cube plus the
+  /// long diagonal, which bounds every pair at <= 2 hops.
+  int qpi_hops(int socket_a, int socket_b) const;
+
+  /// Human-readable Table-I-style description (used by bench_table1_config).
+  std::string describe() const;
+
+  /// Returns a copy with a weak node configured (paper Figs. 13/15).
+  Topology with_weak_node(int node, double factor) const;
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+}  // namespace numabfs::sim

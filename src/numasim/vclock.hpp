@@ -1,0 +1,36 @@
+#pragma once
+/// \file vclock.hpp
+/// Per-rank virtual clock. All simulated time flows through this: compute
+/// kernels charge `count * unit_cost`, collectives charge modeled transfer
+/// times, and barriers advance everyone to the group maximum (the
+/// difference being accounted as stall). Virtual time never reads the host
+/// clock, so results are bit-deterministic under any thread schedule.
+
+#include <cassert>
+
+namespace numabfs::sim {
+
+class VClock {
+ public:
+  /// Current virtual time in nanoseconds since run start.
+  double now_ns() const { return t_; }
+
+  /// Advance by a non-negative amount of modeled work/transfer time.
+  void charge_ns(double ns) {
+    assert(ns >= 0.0);
+    t_ += ns;
+  }
+
+  /// Jump forward to an absolute time (used by barriers; never backwards).
+  void advance_to_ns(double t_abs) {
+    assert(t_abs >= t_);
+    t_ = t_abs;
+  }
+
+  void reset() { t_ = 0.0; }
+
+ private:
+  double t_ = 0.0;
+};
+
+}  // namespace numabfs::sim

@@ -1,0 +1,124 @@
+#include "runtime/allgather.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <set>
+
+namespace numabfs::rt {
+
+const char* to_string(AllgatherAlgo a) {
+  switch (a) {
+    case AllgatherAlgo::flat_ring: return "flat_ring";
+    case AllgatherAlgo::leader_ring: return "leader_ring";
+    case AllgatherAlgo::leader_rd: return "leader_rd";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Distinct nodes spanned by a comm (group shape for the time model).
+int nodes_spanned(const Cluster& c, const Comm& comm) {
+  std::set<int> nodes;
+  for (int r : comm.members()) nodes.insert(c.node_of(r));
+  return static_cast<int>(nodes.size());
+}
+
+coll_model::CollTimes model_time(const Cluster& c, const Comm& comm,
+                                 std::uint64_t chunk_bytes,
+                                 AllgatherAlgo algo) {
+  const int np = comm.size();
+  const int nnodes = nodes_spanned(c, comm);
+  const int per_node = np / std::max(1, nnodes);
+  coll_model::CollTimes t;
+  switch (algo) {
+    case AllgatherAlgo::flat_ring:
+      return coll_model::flat_ring_shape(c, nnodes, per_node, chunk_bytes);
+    case AllgatherAlgo::leader_ring:
+    case AllgatherAlgo::leader_rd: {
+      const std::uint64_t node_chunk =
+          chunk_bytes * static_cast<std::uint64_t>(per_node);
+      const std::uint64_t total =
+          node_chunk * static_cast<std::uint64_t>(nnodes);
+      t.gather_ns = per_node > 1 ? coll_model::gather_to_leader_ns(c, chunk_bytes)
+                                 : 0.0;
+      t.inter_ns = algo == AllgatherAlgo::leader_ring
+                       ? coll_model::inter_ring_ns(c, node_chunk, 1)
+                       : coll_model::inter_recursive_doubling_ns(c, node_chunk, 1);
+      t.bcast_ns =
+          per_node > 1 ? coll_model::bcast_from_leader_ns(c, total) : 0.0;
+      t.total_ns = t.gather_ns + t.inter_ns + t.bcast_ns;  // sequential steps
+      return t;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+coll_model::CollTimes allgather(Proc& p, Comm& comm,
+                                std::span<const std::uint64_t> chunk,
+                                std::span<std::uint64_t> dst,
+                                AllgatherAlgo algo, sim::Phase phase) {
+  Cluster& c = *p.cluster;
+  const int idx = comm.index_of(p.rank);
+  assert(idx >= 0);
+  const size_t words = chunk.size();
+  assert(dst.size() == words * static_cast<size_t>(comm.size()));
+
+  comm.publish_ptr(idx, chunk.data());
+  comm.publish_val(idx, words);
+  p.barrier(comm, sim::Phase::stall);  // inputs ready; clocks aligned
+
+  // Real data movement: copy every member's chunk into our private dst.
+  for (int i = 0; i < comm.size(); ++i) {
+    assert(comm.val(i) == words && "allgather requires equal chunk sizes");
+    const auto* src = static_cast<const std::uint64_t*>(comm.ptr(i));
+    std::memcpy(dst.data() + static_cast<size_t>(i) * words, src,
+                words * sizeof(std::uint64_t));
+    const std::uint64_t bytes = words * sizeof(std::uint64_t);
+    if (i != idx) {
+      if (c.node_of(comm.world_rank(i)) == p.node)
+        p.prof.counters().bytes_intra_node += bytes;
+      else
+        p.prof.counters().bytes_inter_node += bytes;
+    }
+  }
+
+  const coll_model::CollTimes t =
+      model_time(c, comm, words * sizeof(std::uint64_t), algo);
+  p.charge(phase, t.total_ns);
+  p.barrier(comm, phase);  // collective completes together
+  return t;
+}
+
+namespace {
+
+std::uint64_t allreduce_impl(Proc& p, Comm& comm, std::uint64_t v, bool max_op,
+                             sim::Phase phase) {
+  const int idx = comm.index_of(p.rank);
+  assert(idx >= 0);
+  comm.publish_val(idx, v);
+  p.barrier(comm, phase);
+  std::uint64_t acc = max_op ? 0 : 0;
+  for (int i = 0; i < comm.size(); ++i)
+    acc = max_op ? std::max(acc, comm.val(i)) : acc + comm.val(i);
+  p.charge(phase, coll_model::allreduce_scalar_ns(*p.cluster, comm.size()));
+  p.barrier(comm, phase);
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t allreduce_sum(Proc& p, Comm& comm, std::uint64_t v,
+                            sim::Phase phase) {
+  return allreduce_impl(p, comm, v, /*max_op=*/false, phase);
+}
+
+std::uint64_t allreduce_max(Proc& p, Comm& comm, std::uint64_t v,
+                            sim::Phase phase) {
+  return allreduce_impl(p, comm, v, /*max_op=*/true, phase);
+}
+
+}  // namespace numabfs::rt

@@ -1,0 +1,88 @@
+#include "runtime/cluster.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace numabfs::rt {
+
+Cluster::Cluster(sim::Topology topo, sim::CostParams params, int ppn)
+    : topo_(std::move(topo)),
+      params_(params),
+      ppn_(ppn),
+      nranks_(topo_.nodes() * ppn),
+      sockets_per_rank_(1),
+      mem_(params_, topo_),
+      link_(params_, topo_) {
+  if (ppn < 1) throw std::invalid_argument("Cluster: ppn must be >= 1");
+  if (topo_.sockets_per_node() % ppn != 0)
+    throw std::invalid_argument("Cluster: ppn must divide sockets per node");
+  sockets_per_rank_ = topo_.sockets_per_node() / ppn;
+
+  std::vector<int> all(static_cast<size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) all[static_cast<size_t>(r)] = r;
+  world_ = std::make_unique<Comm>(all);
+
+  node_comms_.reserve(static_cast<size_t>(topo_.nodes()));
+  for (int n = 0; n < topo_.nodes(); ++n) {
+    std::vector<int> m;
+    m.reserve(static_cast<size_t>(ppn));
+    for (int l = 0; l < ppn; ++l) m.push_back(n * ppn + l);
+    node_comms_.push_back(std::make_unique<Comm>(std::move(m)));
+  }
+
+  std::vector<int> lead;
+  lead.reserve(static_cast<size_t>(topo_.nodes()));
+  for (int n = 0; n < topo_.nodes(); ++n) lead.push_back(n * ppn);
+  leaders_ = std::make_unique<Comm>(std::move(lead));
+
+  subgroups_.reserve(static_cast<size_t>(ppn));
+  for (int l = 0; l < ppn; ++l) {
+    std::vector<int> m;
+    m.reserve(static_cast<size_t>(topo_.nodes()));
+    for (int n = 0; n < topo_.nodes(); ++n) m.push_back(n * ppn + l);
+    subgroups_.push_back(std::make_unique<Comm>(std::move(m)));
+  }
+}
+
+void Cluster::run(const std::function<void(Proc&)>& fn) {
+  std::vector<Proc> procs(static_cast<size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    Proc& p = procs[static_cast<size_t>(r)];
+    p.rank = r;
+    p.node = node_of(r);
+    p.local = local_of(r);
+    p.socket = p.local * sockets_per_rank_;
+    p.nranks = nranks_;
+    p.ppn = ppn_;
+    p.threads = sockets_per_rank_ * topo_.cores_per_socket();
+    p.cluster = this;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&fn, &procs, r] {
+      try {
+        fn(procs[static_cast<size_t>(r)]);
+      } catch (const std::exception& e) {
+        // A dead rank would deadlock the group at the next barrier; fail
+        // loudly and immediately instead.
+        std::fprintf(stderr, "numabfs: rank %d threw: %s\n", r, e.what());
+        std::abort();
+      } catch (...) {
+        std::fprintf(stderr, "numabfs: rank %d threw unknown exception\n", r);
+        std::abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  profiles_.clear();
+  profiles_.reserve(static_cast<size_t>(nranks_));
+  for (const Proc& p : procs) profiles_.push_back(p.prof);
+}
+
+}  // namespace numabfs::rt

@@ -1,0 +1,109 @@
+#pragma once
+/// \file cluster.hpp
+/// SPMD launcher for the simulated NUMA cluster.
+///
+/// `Cluster` fixes a topology, cost parameters and a process-per-node count
+/// (the paper's `ppn`), builds the standard communicators (world, per-node,
+/// leaders, per-local-index subgroups), and `run()` executes a rank function
+/// on one thread per simulated MPI process. Ranks are threads of this
+/// process; their address spaces are private *by convention* and
+/// node-shared structures are simply buffers every rank thread of a node
+/// can see — exactly the effect the paper achieves with `mmap`.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "numasim/cost_params.hpp"
+#include "numasim/link_model.hpp"
+#include "numasim/mem_model.hpp"
+#include "numasim/phase_profile.hpp"
+#include "numasim/topology.hpp"
+#include "numasim/vclock.hpp"
+#include "runtime/comm.hpp"
+
+namespace numabfs::rt {
+
+class Cluster;
+
+/// Per-rank execution context handed to the SPMD function.
+struct Proc {
+  int rank = 0;    ///< world rank
+  int node = 0;    ///< node index
+  int local = 0;   ///< index within the node [0, ppn)
+  int socket = 0;  ///< first socket of this rank's binding domain
+  int nranks = 1;
+  int ppn = 1;
+  int threads = 1;  ///< modeled OpenMP threads available to this rank
+
+  sim::VClock clock;
+  sim::PhaseProfile prof;
+  Cluster* cluster = nullptr;
+
+  /// Charge modeled time to the clock and attribute it to `phase`.
+  void charge(sim::Phase phase, double ns) {
+    clock.charge_ns(ns);
+    prof.add(phase, ns);
+  }
+
+  /// Barrier on `c`, charging the wait (group max - own arrival) to `phase`.
+  void barrier(Comm& c, sim::Phase phase) {
+    const double before = clock.now_ns();
+    const double mx = c.barrier().sync(c.index_of(rank), clock);
+    prof.add(phase, mx - before);
+  }
+
+  bool is_node_leader() const { return local == 0; }
+};
+
+class Cluster {
+ public:
+  /// `ppn` must be 1 or divide sockets_per_node; each rank is bound to a
+  /// contiguous block of sockets_per_node/ppn sockets.
+  Cluster(sim::Topology topo, sim::CostParams params, int ppn);
+
+  int nranks() const { return nranks_; }
+  int ppn() const { return ppn_; }
+  int sockets_per_rank() const { return sockets_per_rank_; }
+  int node_of(int rank) const { return rank / ppn_; }
+  int local_of(int rank) const { return rank % ppn_; }
+
+  const sim::Topology& topo() const { return topo_; }
+  const sim::CostParams& params() const { return params_; }
+  const sim::MemModel& mem() const { return mem_; }
+  const sim::LinkModel& link() const { return link_; }
+
+  Comm& world() { return *world_; }
+  Comm& node_comm(int node) { return *node_comms_[static_cast<size_t>(node)]; }
+  /// One member per node: the ranks with local index 0.
+  Comm& leaders() { return *leaders_; }
+  /// Subgroup `local`: the ranks with that local index, one per node
+  /// (the "colors" of the paper's Fig. 7).
+  Comm& subgroup(int local) { return *subgroups_[static_cast<size_t>(local)]; }
+
+  /// Run `fn` SPMD on nranks() threads. Profiles/clocks are reset first and
+  /// collected into `profiles()` afterwards. Any exception escaping a rank
+  /// aborts the process (rank functions are noexcept by contract; letting
+  /// one rank die would deadlock the others at a barrier).
+  void run(const std::function<void(Proc&)>& fn);
+
+  const std::vector<sim::PhaseProfile>& profiles() const { return profiles_; }
+
+ private:
+  sim::Topology topo_;
+  sim::CostParams params_;
+  int ppn_;
+  int nranks_;
+  int sockets_per_rank_;
+  sim::MemModel mem_;
+  sim::LinkModel link_;
+
+  std::unique_ptr<Comm> world_;
+  std::vector<std::unique_ptr<Comm>> node_comms_;
+  std::unique_ptr<Comm> leaders_;
+  std::vector<std::unique_ptr<Comm>> subgroups_;
+
+  std::vector<sim::PhaseProfile> profiles_;
+};
+
+}  // namespace numabfs::rt

@@ -1,0 +1,91 @@
+#pragma once
+/// \file coll_model.hpp
+/// Analytic durations of the collective-communication building blocks.
+///
+/// These are pure functions of the cluster shape and message sizes; the
+/// data-moving collectives charge them to virtual clocks, and the unit
+/// tests assert their algebraic properties (e.g. the paper's Eq. (1):
+/// a flat allgather transmits m*(np-1) bytes; Eq. (2): subgroup-parallel
+/// allgather moves the same volume while using every NIC port).
+
+#include <cstdint>
+
+#include "runtime/cluster.hpp"
+
+namespace numabfs::rt::coll_model {
+
+/// Timing breakdown of one allgather (the steps of the paper's Fig. 5).
+struct CollTimes {
+  double gather_ns = 0.0;  ///< step 1: children -> leader (intra-node)
+  double inter_ns = 0.0;   ///< step 2: inter-node allgather between leaders
+  double bcast_ns = 0.0;   ///< step 3: leader -> children (intra-node)
+  double intra_overlapped_ns = 0.0;  ///< flat algorithm's intra component
+  double total_ns = 0.0;
+
+  double intra_ns() const { return gather_ns + bcast_ns + intra_overlapped_ns; }
+};
+
+/// Open MPI-style default: ring allgather over all np = nnodes*ppn ranks,
+/// each contributing `chunk_bytes`. Intra-node hops pay the copy-in/copy-out
+/// shared-memory channel cost; each node has one boundary flow crossing the
+/// network per step. Intra and inter transfers of a step overlap; the step
+/// costs their maximum.
+CollTimes flat_ring(const Cluster& c, std::uint64_t chunk_bytes);
+
+/// Same model for an arbitrary group shape: `nnodes` nodes spanned with
+/// `per_node` members each.
+CollTimes flat_ring_shape(const Cluster& c, int nnodes, int per_node,
+                          std::uint64_t chunk_bytes);
+
+/// Step 1 of Fig. 5a: ppn-1 children push `chunk_bytes` each into the
+/// leader socket's memory (concurrent, bounded by that socket's ceiling).
+double gather_to_leader_ns(const Cluster& c, std::uint64_t chunk_bytes);
+
+/// Step 3 of Fig. 5a: ppn-1 children each pull `total_bytes` from the
+/// leader socket's memory.
+double bcast_from_leader_ns(const Cluster& c, std::uint64_t total_bytes);
+
+/// Ring allgather among one rank per node, each contributing
+/// `chunk_bytes`, with `flows_per_node` concurrent flows sharing each
+/// node's NIC (1 for the plain leader ring; ppn when all subgroups run in
+/// parallel, each then moving chunk_bytes/... — pass the per-flow chunk).
+double inter_ring_ns(const Cluster& c, std::uint64_t chunk_bytes,
+                     int flows_per_node);
+
+/// Recursive-doubling allgather among the leaders (better for the small
+/// summary bitmaps: log2(n) message latencies instead of n-1).
+double inter_recursive_doubling_ns(const Cluster& c, std::uint64_t chunk_bytes,
+                                   int flows_per_node);
+
+/// Composite model of the leader-based allgather family (Fig. 5), over the
+/// whole cluster with per-rank chunks of `chunk_bytes`:
+///  - `with_gather`/`with_bcast` select steps 1/3 (sharing the out/in
+///    structures eliminates them — Fig. 5b);
+///  - `flows_per_node` = 1 for a single leader, ppn when all subgroups ring
+///    in parallel (Fig. 7; each flow then carries chunk_bytes instead of
+///    the full node chunk);
+///  - `rd_inter` switches the inter-node step to recursive doubling.
+CollTimes leader_allgather(const Cluster& c, std::uint64_t chunk_bytes,
+                           bool with_gather, bool with_bcast,
+                           int flows_per_node, bool rd_inter = false);
+
+/// The same composite under *perfect* intra/inter overlap (HierKNEM-style
+/// pipelining, the best case of the overlap literature the paper reviews):
+/// total = max(gather + bcast, inter) instead of their sum. The paper's
+/// Section III.A argument is that even this bound cannot beat sharing,
+/// because the intra-node steps alone exceed the inter-node step
+/// (Fig. 6) — `bench_fig06_allgather` prints this row.
+CollTimes leader_allgather_overlapped(const Cluster& c,
+                                      std::uint64_t chunk_bytes);
+
+/// Latency of an allreduce of one scalar over `group_size` ranks.
+double allreduce_scalar_ns(const Cluster& c, int group_size);
+
+/// Total bytes transmitted by an allgather of total payload m over np
+/// processes — the paper's Eq. (1): m * (np - 1).
+std::uint64_t allgather_volume_bytes(std::uint64_t total_bytes, int np);
+
+/// Slowest NIC factor among all nodes (ring collectives are bound by it).
+double min_nic_factor(const Cluster& c);
+
+}  // namespace numabfs::rt::coll_model

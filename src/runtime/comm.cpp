@@ -1,0 +1,17 @@
+#include "runtime/comm.hpp"
+
+namespace numabfs::rt {
+
+Comm::Comm(std::vector<int> world_ranks)
+    : members_(std::move(world_ranks)),
+      barrier_(static_cast<int>(members_.size())),
+      ptr_slots_(members_.size(), nullptr),
+      val_slots_(members_.size(), 0) {}
+
+int Comm::index_of(int world_rank) const {
+  for (size_t i = 0; i < members_.size(); ++i)
+    if (members_[i] == world_rank) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace numabfs::rt

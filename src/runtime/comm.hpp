@@ -1,0 +1,80 @@
+#pragma once
+/// \file comm.hpp
+/// Communicators and virtual-time barriers.
+///
+/// A `Comm` is an ordered group of world ranks (like an MPI communicator).
+/// Ranks of the simulated cluster are threads of this process, so a barrier
+/// both synchronizes the threads *and* aligns their virtual clocks to the
+/// group maximum — the difference is the load-imbalance "stall" the paper
+/// breaks out in Fig. 11. Comms also carry small publish/read slot arrays
+/// used by collectives to exchange pointers and scalar values.
+
+#include <barrier>
+#include <cstdint>
+#include <vector>
+
+#include "numasim/vclock.hpp"
+
+namespace numabfs::rt {
+
+/// Reusable group barrier that aligns virtual clocks.
+class VBarrier {
+ public:
+  explicit VBarrier(int n)
+      : slots_(static_cast<size_t>(n)), b1_(n), b2_(n) {}
+
+  /// Member `idx` arrives with clock `clk`; blocks until all members arrive;
+  /// returns the group's maximum virtual time and advances `clk` to it.
+  /// The caller decides which phase the (max - own) stall is charged to.
+  double sync(int idx, sim::VClock& clk) {
+    slots_[static_cast<size_t>(idx)] = clk.now_ns();
+    b1_.arrive_and_wait();
+    double mx = slots_[0];
+    for (double v : slots_) mx = v > mx ? v : mx;
+    clk.advance_to_ns(mx);
+    b2_.arrive_and_wait();  // nobody rewrites slots_ until all have read
+    return mx;
+  }
+
+  /// Plain thread rendezvous without clock alignment (setup phases).
+  void wait() {
+    b1_.arrive_and_wait();
+    b2_.arrive_and_wait();
+  }
+
+ private:
+  std::vector<double> slots_;
+  std::barrier<> b1_, b2_;
+};
+
+/// Ordered group of world ranks with a barrier and exchange slots.
+class Comm {
+ public:
+  explicit Comm(std::vector<int> world_ranks);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  int world_rank(int idx) const { return members_[static_cast<size_t>(idx)]; }
+  const std::vector<int>& members() const { return members_; }
+  /// Index of `world_rank` in this comm, or -1 if not a member.
+  int index_of(int world_rank) const;
+
+  VBarrier& barrier() { return barrier_; }
+
+  // --- exchange slots (publish before a barrier, read after) -----------
+  void publish_ptr(int idx, const void* p) {
+    ptr_slots_[static_cast<size_t>(idx)] = p;
+  }
+  const void* ptr(int idx) const { return ptr_slots_[static_cast<size_t>(idx)]; }
+  void publish_val(int idx, std::uint64_t v) {
+    val_slots_[static_cast<size_t>(idx)] = v;
+  }
+  std::uint64_t val(int idx) const { return val_slots_[static_cast<size_t>(idx)]; }
+
+ private:
+  std::vector<int> members_;
+  VBarrier barrier_;
+  std::vector<const void*> ptr_slots_;
+  std::vector<std::uint64_t> val_slots_;
+};
+
+}  // namespace numabfs::rt

@@ -1,0 +1,52 @@
+#include "runtime/p2p.hpp"
+
+#include <algorithm>
+
+namespace numabfs::rt {
+
+void PostOffice::send(Proc& from, int to, std::span<const std::uint64_t> payload,
+                      sim::Phase phase, int flows) {
+  const Cluster& c = *from.cluster;
+  const std::uint64_t bytes = payload.size() * sizeof(std::uint64_t);
+  double ns;
+  if (c.node_of(to) == from.node) {
+    ns = c.params().cico_factor * static_cast<double>(bytes) /
+         c.link().shm_flow_bw(flows);
+    from.prof.counters().bytes_intra_node += bytes;
+  } else {
+    ns = c.link().nic_transfer_ns(bytes, flows, from.node, c.node_of(to));
+    from.prof.counters().bytes_inter_node += bytes;
+  }
+  from.charge(phase, ns);
+
+  Box& box = boxes_[static_cast<size_t>(to)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(Message{from.rank, from.clock.now_ns(),
+                                {payload.begin(), payload.end()}});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::uint64_t> PostOffice::recv(Proc& self, int from,
+                                            sim::Phase phase) {
+  Box& box = boxes_[static_cast<size_t>(self.rank)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [from](const Message& m) { return m.from == from; });
+    if (it != box.queue.end()) {
+      Message m = std::move(*it);
+      box.queue.erase(it);
+      lock.unlock();
+      if (m.arrival_ns > self.clock.now_ns()) {
+        self.prof.add(phase, m.arrival_ns - self.clock.now_ns());
+        self.clock.advance_to_ns(m.arrival_ns);
+      }
+      return std::move(m.payload);
+    }
+    box.cv.wait(lock);
+  }
+}
+
+}  // namespace numabfs::rt

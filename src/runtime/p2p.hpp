@@ -1,0 +1,51 @@
+#pragma once
+/// \file p2p.hpp
+/// Blocking point-to-point messaging between ranks, with modeled transfer
+/// time. Used by the bandwidth microbenchmark (paper Fig. 4) and available
+/// to applications; the BFS collectives use the shared-space primitives
+/// instead.
+///
+/// Time semantics: the sender charges the modeled transfer time and stamps
+/// the message with its completion time; the receiver's clock advances to
+/// max(own, arrival) — i.e. a receive can wait, a send cannot (eager/RDMA
+/// put model).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "numasim/phase_profile.hpp"
+#include "runtime/cluster.hpp"
+
+namespace numabfs::rt {
+
+class PostOffice {
+ public:
+  explicit PostOffice(int nranks) : boxes_(static_cast<size_t>(nranks)) {}
+
+  /// Send `payload` to rank `to`. `flows` is the number of concurrent flows
+  /// the caller knows are sharing the path (for NIC saturation modeling).
+  void send(Proc& from, int to, std::span<const std::uint64_t> payload,
+            sim::Phase phase, int flows = 1);
+
+  /// Blocking receive of the oldest message from `from`.
+  std::vector<std::uint64_t> recv(Proc& self, int from, sim::Phase phase);
+
+ private:
+  struct Message {
+    int from;
+    double arrival_ns;
+    std::vector<std::uint64_t> payload;
+  };
+  struct Box {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  std::vector<Box> boxes_;
+};
+
+}  // namespace numabfs::rt

@@ -1,0 +1,49 @@
+#pragma once
+/// \file shared_space.hpp
+/// Node-shared buffers — the simulator's stand-in for the paper's
+/// mmap-shared segments (Section III.A).
+///
+/// All rank threads of a node that ask for the same (node, key) receive the
+/// same span. Callers are responsible for the phase discipline the paper
+/// relies on: writers own disjoint regions, and reads of another rank's
+/// region happen only after a barrier.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace numabfs::rt {
+
+class SharedSpace {
+ public:
+  /// Get-or-create the node-shared buffer `key` of exactly `words`
+  /// uint64s (zero-initialized on creation). Throws if the key exists with
+  /// a different size.
+  std::span<std::uint64_t> node_words(int node, const std::string& key,
+                                      std::size_t words) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = bufs_.try_emplace({node, key});
+    if (inserted) {
+      it->second.assign(words, 0);
+    } else if (it->second.size() != words) {
+      throw std::invalid_argument("SharedSpace: size mismatch for key " + key);
+    }
+    return {it->second.data(), it->second.size()};
+  }
+
+  /// Drop all buffers (between independent runs).
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs_.clear();
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::pair<int, std::string>, std::vector<std::uint64_t>> bufs_;
+};
+
+}  // namespace numabfs::rt

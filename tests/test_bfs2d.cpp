@@ -1,0 +1,211 @@
+#include "bfs2d/bfs2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/reference_bfs.hpp"
+#include "graph/rmat.hpp"
+#include "graph/validate.hpp"
+#include "runtime/coll_model.hpp"
+
+namespace numabfs::bfs2d {
+namespace {
+
+graph::Csr make_csr(int scale, std::uint64_t seed = 7) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = 8;
+  p.seed = seed;
+  return graph::Csr::from_edges(p.num_vertices(), graph::rmat_edges(p));
+}
+
+TEST(Grid2d, ShapeAndOwnership) {
+  Grid2d g(1000, 16);
+  EXPECT_EQ(g.r(), 4);
+  EXPECT_EQ(g.np(), 16);
+  EXPECT_GE(g.padded(), 1000u);
+  EXPECT_EQ(g.padded() % (16 * 64), 0u);
+  EXPECT_EQ(g.band_bits() * 4, g.padded());
+  EXPECT_EQ(g.piece_bits() * 16, g.padded());
+  // Every vertex owned exactly once, within the owner's piece range.
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    const int o = g.owner(v);
+    EXPECT_GE(v, g.piece_begin(o));
+    EXPECT_LT(v, g.piece_begin(o) + g.piece_bits());
+    EXPECT_EQ(g.row_of(o), static_cast<int>(v / g.band_bits()));
+  }
+}
+
+TEST(Grid2d, RejectsNonSquare) {
+  EXPECT_THROW(Grid2d(100, 8), std::invalid_argument);
+  EXPECT_THROW(Grid2d(100, 2), std::invalid_argument);
+  EXPECT_NO_THROW(Grid2d(100, 1));
+  EXPECT_NO_THROW(Grid2d(100, 64));
+}
+
+TEST(DistGraph2d, ConservesEveryDirectedEdge) {
+  const graph::Csr g = make_csr(10);
+  const Grid2d grid(g.num_vertices(), 16);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  std::uint64_t total = 0;
+  for (const auto& b : d.blocks) {
+    total += b.edges();
+    EXPECT_TRUE(std::is_sorted(b.keys.begin(), b.keys.end()));
+    EXPECT_EQ(b.offsets.size(), b.keys.size() + 1);
+  }
+  EXPECT_EQ(total, g.num_directed_edges());
+}
+
+TEST(DistGraph2d, BlockMembershipRespectsBands) {
+  const graph::Csr g = make_csr(9);
+  const Grid2d grid(g.num_vertices(), 4);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  const std::uint64_t band = grid.band_bits();
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      const auto& b = d.blocks[static_cast<size_t>(grid.rank_at(i, j))];
+      for (graph::Vertex u : b.keys) {
+        EXPECT_GE(u / band, static_cast<std::uint64_t>(j));
+        EXPECT_LT(u / band, static_cast<std::uint64_t>(j) + 1);
+      }
+      for (graph::Vertex v : b.targets)
+        EXPECT_EQ(v / band, static_cast<std::uint64_t>(i));
+    }
+}
+
+struct Shape {
+  int scale, nodes, ppn;
+};
+
+class Bfs2dGrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(Bfs2dGrid, ProducesValidTreeOnSquareGrids) {
+  static const Shape shapes[] = {
+      {9, 1, 1},   // 1x1 grid
+      {9, 1, 4},   // 2x2 grid
+      {10, 2, 8},  // 4x4 grid
+      {10, 8, 8},  // 8x8 grid, columns inter-node
+  };
+  const Shape s = shapes[GetParam()];
+  const graph::Csr g = make_csr(s.scale);
+  const Grid2d grid(g.num_vertices(), s.nodes * s.ppn);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(s.nodes), sim::CostParams{},
+                s.ppn);
+
+  graph::Vertex root = 0;
+  while (g.degree(root) == 0) ++root;
+  std::vector<graph::Vertex> parent;
+  const Bfs2dResult res = run_bfs_2d(c, d, root, &parent);
+  const auto v = graph::validate_bfs_tree(g, root, parent);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(res.visited, v.visited);
+  EXPECT_GT(res.time_ns, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, Bfs2dGrid, ::testing::Range(0, 4));
+
+TEST(Bfs2d, MatchesOneDimensionalVisitedSet) {
+  const graph::Csr g = make_csr(10, 21);
+  const Grid2d grid(g.num_vertices(), 16);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(2), sim::CostParams{}, 8);
+
+  graph::Vertex root = 0;
+  while (g.degree(root) == 0) ++root;
+  std::vector<graph::Vertex> parent2d;
+  run_bfs_2d(c, d, root, &parent2d);
+  const graph::BfsTree ref = graph::reference_bfs(g, root);
+  for (std::uint64_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(parent2d[v] != graph::kNoVertex,
+              ref.reached(static_cast<graph::Vertex>(v)))
+        << "vertex " << v;
+}
+
+TEST(Bfs2d, Deterministic) {
+  const graph::Csr g = make_csr(9);
+  const Grid2d grid(g.num_vertices(), 4);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 4);
+  graph::Vertex root = 0;
+  while (g.degree(root) == 0) ++root;
+  const Bfs2dResult a = run_bfs_2d(c, d, root);
+  const Bfs2dResult b = run_bfs_2d(c, d, root);
+  EXPECT_DOUBLE_EQ(a.time_ns, b.time_ns);
+  EXPECT_EQ(a.levels, b.levels);
+  EXPECT_EQ(a.visited, b.visited);
+}
+
+TEST(Bfs2d, IsolatedRoot) {
+  const graph::Csr g = make_csr(9);
+  graph::Vertex isolated = graph::kNoVertex;
+  for (std::uint64_t v = 0; v < g.num_vertices(); ++v)
+    if (g.degree(static_cast<graph::Vertex>(v)) == 0) {
+      isolated = static_cast<graph::Vertex>(v);
+      break;
+    }
+  ASSERT_NE(isolated, graph::kNoVertex);
+  const Grid2d grid(g.num_vertices(), 4);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 4);
+  std::vector<graph::Vertex> parent;
+  const Bfs2dResult res = run_bfs_2d(c, d, isolated, &parent);
+  EXPECT_EQ(res.visited, 1u);
+  EXPECT_EQ(parent[isolated], isolated);
+}
+
+TEST(Bfs2d, RejectsShapeMismatch) {
+  const graph::Csr g = make_csr(9);
+  const Grid2d grid(g.num_vertices(), 4);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 8);
+  EXPECT_THROW(run_bfs_2d(c, d, 0), std::invalid_argument);
+}
+
+TEST(Bfs2d, ExpandSmallerThanOneDAllgather) {
+  // The point of 2-D: per-level expand moves a band (n/sqrt(np)) instead of
+  // the whole bitmap — its per-level cost must be below the 1-D exchange.
+  const graph::Csr g = make_csr(12, 3);
+  const Grid2d grid(g.num_vertices(), 64);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(8),
+                sim::CostParams{}.with_paper_cache_scaling(g.num_vertices()),
+                8);
+  graph::Vertex root = 0;
+  while (g.degree(root) == 0) ++root;
+  const Bfs2dResult res = run_bfs_2d(c, d, root);
+  EXPECT_GT(res.expand_ns_per_level, 0.0);
+  const double one_d = rt::coll_model::flat_ring(
+                           c, grid.padded() / 8 / 64)
+                           .total_ns;
+  EXPECT_LT(res.expand_ns_per_level, one_d);
+}
+
+}  // namespace
+}  // namespace numabfs::bfs2d
+
+namespace numabfs::bfs2d {
+namespace {
+
+TEST(Bfs2d, SharedFoldReducesCommWithoutChangingTree) {
+  // The paper's sharing composed onto the 2-D row exchange: same tree,
+  // strictly cheaper fold (the CICO bounce disappears).
+  const graph::Csr g = make_csr(11, 9);
+  const Grid2d grid(g.num_vertices(), 64);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(8), sim::CostParams{}, 8);
+  graph::Vertex root = 0;
+  while (g.degree(root) == 0) ++root;
+
+  std::vector<graph::Vertex> pa, pb;
+  const Bfs2dResult plain = run_bfs_2d(c, d, root, &pa);
+  Bfs2dOptions o;
+  o.shared_fold = true;
+  const Bfs2dResult shared = run_bfs_2d(c, d, root, &pb, o);
+  EXPECT_EQ(pa, pb);
+  EXPECT_LT(shared.fold_ns_per_level, plain.fold_ns_per_level);
+  EXPECT_LT(shared.time_ns, plain.time_ns);
+  EXPECT_DOUBLE_EQ(shared.expand_ns_per_level, plain.expand_ns_per_level);
+}
+
+}  // namespace
+}  // namespace numabfs::bfs2d

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "bfs/hybrid.hpp"
+#include "harness/graph500.hpp"
+
+namespace numabfs {
+namespace {
+
+using harness::Experiment;
+using harness::ExperimentOptions;
+using harness::GraphBundle;
+
+const GraphBundle& bundle12() {
+  static const GraphBundle b = GraphBundle::make(12, 16, 99, 4);
+  return b;
+}
+
+ExperimentOptions shape(int nodes, int ppn) {
+  ExperimentOptions o;
+  o.nodes = nodes;
+  o.ppn = ppn;
+  return o;
+}
+
+TEST(BfsBehavior, VirtualTimeIsDeterministic) {
+  // Bit-identical virtual time across repeated runs, regardless of host
+  // thread scheduling — the core guarantee of the simulator.
+  Experiment e(bundle12(), shape(2, 8));
+  const bfs::Config cfg = bfs::par_allgather();
+  bfs::DistState st(e.dist(), cfg, 2, 8);
+  const auto a = bfs::run_bfs(e.cluster(), e.dist(), st, bundle12().roots[0]);
+  const auto b = bfs::run_bfs(e.cluster(), e.dist(), st, bundle12().roots[0]);
+  EXPECT_DOUBLE_EQ(a.time_ns, b.time_ns);
+  EXPECT_EQ(a.levels, b.levels);
+  EXPECT_EQ(a.directions, b.directions);
+  EXPECT_EQ(a.profile_avg.counters().edges_scanned,
+            b.profile_avg.counters().edges_scanned);
+}
+
+TEST(BfsBehavior, HybridFollowsThreePhasePattern) {
+  // R-MAT frontiers ramp up then down: top-down, then bottom-up, then
+  // top-down again (Section II.A). Directions must be td* bu+ td*.
+  Experiment e(bundle12(), shape(2, 8));
+  bfs::DistState st(e.dist(), bfs::original(), 2, 8);
+  const auto r = bfs::run_bfs(e.cluster(), e.dist(), st, bundle12().roots[0]);
+  ASSERT_GE(r.levels, 3);
+  EXPECT_GT(r.bu_levels, 0);
+  // No td level may appear between two bu levels' start and end.
+  int transitions = 0;
+  for (int i = 1; i < r.levels; ++i)
+    if (r.directions[i] != r.directions[i - 1]) ++transitions;
+  EXPECT_LE(transitions, 2) << "more than one td->bu->td cycle";
+  EXPECT_EQ(r.directions.front(), 0) << "must start top-down";
+}
+
+TEST(BfsBehavior, ForcedDirectionsNeverSwitch) {
+  Experiment e(bundle12(), shape(2, 4));
+  for (auto d : {bfs::Direction::top_down_only, bfs::Direction::bottom_up_only}) {
+    bfs::Config cfg;
+    cfg.direction = d;
+    bfs::DistState st(e.dist(), cfg, 2, 4);
+    const auto r = bfs::run_bfs(e.cluster(), e.dist(), st, bundle12().roots[0]);
+    for (int dir : r.directions)
+      EXPECT_EQ(dir, d == bfs::Direction::top_down_only ? 0 : 1);
+  }
+}
+
+TEST(BfsBehavior, CounterLawsHold) {
+  Experiment e(bundle12(), shape(2, 8));
+  bfs::DistState st(e.dist(), bfs::original(), 2, 8);
+  const auto r = bfs::run_bfs(e.cluster(), e.dist(), st, bundle12().roots[0]);
+  const auto& c = r.profile_avg.counters();  // counters are summed over ranks
+  // Every bottom-up edge scan probes the summary exactly once; a probe
+  // either skips or goes to in_queue.
+  EXPECT_EQ(c.summary_probes, c.summary_zero_skips + c.inqueue_probes);
+  // Every visited vertex (minus the root) was discovered exactly once.
+  EXPECT_EQ(c.vertices_visited + 1, r.visited);
+  // Bottom-up hits can't exceed in_queue probes.
+  EXPECT_LE(c.frontier_hits, c.inqueue_probes);
+  EXPECT_GT(c.edges_scanned, 0u);
+}
+
+TEST(BfsBehavior, ProfileTotalEqualsVirtualTime) {
+  // Every nanosecond of the run must be attributed to some phase.
+  Experiment e(bundle12(), shape(2, 8));
+  bfs::DistState st(e.dist(), bfs::granularity(256), 2, 8);
+  const auto r = bfs::run_bfs(e.cluster(), e.dist(), st, bundle12().roots[0]);
+  // Ranks end clock-aligned, so each rank's profile total equals time_ns.
+  for (const auto& prof : e.cluster().profiles())
+    EXPECT_NEAR(prof.total_ns(), r.time_ns, r.time_ns * 1e-9 + 1e-6);
+}
+
+TEST(BfsBehavior, SharingReducesBottomUpComm) {
+  // The headline mechanism: each sharing level strictly reduces the
+  // bottom-up communication time on a multi-node run.
+  const GraphBundle b = GraphBundle::make(13, 16, 7, 2);
+  Experiment e(b, shape(4, 8));
+  double prev = 1e300;
+  for (const auto& cfg : {bfs::original(), bfs::share_in_queue(),
+                          bfs::share_all(), bfs::par_allgather()}) {
+    const auto res = e.run(cfg, 2);
+    const double comm = res.profile.get(sim::Phase::bu_comm);
+    EXPECT_LT(comm, prev) << cfg.name();
+    prev = comm;
+  }
+}
+
+TEST(BfsBehavior, GranularityRaisesSkipRateMonotonically) {
+  // Larger granularity -> fewer zero bits -> lower zero-skip rate
+  // (Fig. 8's disadvantage side), measured, not modeled.
+  const GraphBundle b = GraphBundle::make(13, 16, 7, 2);
+  Experiment e(b, shape(2, 8));
+  double prev_rate = 1.1;
+  for (std::uint64_t g : {64ull, 256ull, 1024ull, 4096ull}) {
+    const auto res = e.run(bfs::granularity(g), 2);
+    const auto& c = res.profile.counters();
+    const double rate = c.summary_probes
+                            ? static_cast<double>(c.summary_zero_skips) /
+                                  static_cast<double>(c.summary_probes)
+                            : 0.0;
+    EXPECT_LE(rate, prev_rate + 1e-12) << "g=" << g;
+    prev_rate = rate;
+  }
+}
+
+TEST(BfsBehavior, WeakNodeSlowsCluster) {
+  const GraphBundle b = GraphBundle::make(12, 16, 7, 2);
+  ExperimentOptions ok = shape(4, 8);
+  ExperimentOptions weak = shape(4, 8);
+  weak.weak_node = 3;
+  weak.weak_node_factor = 0.3;
+  Experiment eok(b, ok), eweak(b, weak);
+  const double t_ok = eok.run(bfs::original(), 2).harmonic_teps;
+  const double t_weak = eweak.run(bfs::original(), 2).harmonic_teps;
+  EXPECT_GT(t_ok, t_weak);
+}
+
+TEST(BfsBehavior, MoreNodesMoveMoreInterNodeBytes) {
+  const GraphBundle b = GraphBundle::make(12, 16, 7, 2);
+  Experiment e2(b, shape(2, 8)), e4(b, shape(4, 8));
+  const auto r2 = e2.run(bfs::original(), 1);
+  const auto r4 = e4.run(bfs::original(), 1);
+  EXPECT_GT(r4.profile.counters().bytes_inter_node,
+            r2.profile.counters().bytes_inter_node);
+}
+
+TEST(BfsBehavior, StallReflectsLoadImbalance) {
+  // A scale-free graph under 1-D partitioning always leaves some ranks
+  // with more edges; barrier stall must be visible but not dominant.
+  Experiment e(bundle12(), shape(2, 8));
+  bfs::DistState st(e.dist(), bfs::original(), 2, 8);
+  const auto r = bfs::run_bfs(e.cluster(), e.dist(), st, bundle12().roots[0]);
+  const double stall = r.profile_avg.get(sim::Phase::stall);
+  EXPECT_GT(stall, 0.0);
+  EXPECT_LT(stall, 0.5 * r.time_ns);
+}
+
+TEST(BfsBehavior, TepsAccountingMatchesTraversedEdges) {
+  Experiment e(bundle12(), shape(2, 8));
+  bfs::DistState st(e.dist(), bfs::original(), 2, 8);
+  const auto r = bfs::run_bfs(e.cluster(), e.dist(), st, bundle12().roots[0]);
+  EXPECT_NEAR(r.teps() * (r.time_ns * 1e-9),
+              static_cast<double>(r.traversed_edges()), 1.0);
+  EXPECT_GT(r.traversed_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace numabfs
+
+namespace numabfs {
+namespace {
+
+TEST(BfsBehavior, BitmapExchangeBytesFollowEq1) {
+  // Forced bottom-up: every exchange is the bitmap allgather, so each
+  // rank's counted comm bytes are exactly
+  // bu_exchanges * (np - 1) * block_bytes (the paper's Eq. (1) per copy).
+  using harness::Experiment;
+  using harness::ExperimentOptions;
+  using harness::GraphBundle;
+  const GraphBundle b = GraphBundle::make(11, 16, 31, 2);
+  ExperimentOptions eo;
+  eo.nodes = 2;
+  eo.ppn = 4;
+  Experiment e(b, eo);
+  bfs::Config cfg;
+  cfg.direction = bfs::Direction::bottom_up_only;
+  bfs::DistState st(e.dist(), cfg, 2, 4);
+  const auto r = bfs::run_bfs(e.cluster(), e.dist(), st, b.roots[0]);
+
+  const std::uint64_t np = 8;
+  const std::uint64_t block_bytes = e.dist().part.block() / 8;
+  const std::uint64_t expect =
+      static_cast<std::uint64_t>(r.bu_exchanges) * (np - 1) * block_bytes * np;
+  const auto& c = r.profile_avg.counters();  // summed over ranks
+  EXPECT_EQ(c.bytes_intra_node + c.bytes_inter_node, expect);
+}
+
+TEST(BfsBehavior, VisitedSetIndependentOfClusterShape) {
+  using harness::Experiment;
+  using harness::ExperimentOptions;
+  using harness::GraphBundle;
+  const GraphBundle b = GraphBundle::make(11, 16, 37, 2);
+  std::vector<std::uint64_t> visited;
+  for (auto [nodes, ppn] : {std::pair{1, 2}, {1, 8}, {4, 4}}) {
+    ExperimentOptions eo;
+    eo.nodes = nodes;
+    eo.ppn = ppn;
+    Experiment e(b, eo);
+    bfs::DistState st(e.dist(), bfs::original(), nodes, ppn);
+    visited.push_back(
+        bfs::run_bfs(e.cluster(), e.dist(), st, b.roots[0]).visited);
+  }
+  EXPECT_EQ(visited[0], visited[1]);
+  EXPECT_EQ(visited[1], visited[2]);
+}
+
+}  // namespace
+}  // namespace numabfs

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bfs/costs.hpp"
+#include "bfs/state.hpp"
+#include "graph/rmat.hpp"
+
+namespace numabfs::bfs {
+namespace {
+
+graph::DistGraph small_dist(int np) {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 8;
+  static std::map<int, graph::Csr> csr_cache;
+  if (!csr_cache.count(0))
+    csr_cache.emplace(0, graph::Csr::from_edges(p.num_vertices(),
+                                                graph::rmat_edges(p)));
+  return graph::DistGraph::build(csr_cache.at(0),
+                                 graph::Partition1D(p.num_vertices(), np));
+}
+
+TEST(DistState, PrivateCopiesWhenNoSharing) {
+  const auto dg = small_dist(16);
+  DistState st(dg, original(), 2, 8);
+  EXPECT_FALSE(st.shared_in());
+  EXPECT_FALSE(st.shared_out());
+  // Distinct ranks get distinct buffers.
+  EXPECT_NE(st.in_queue(0).words().data(), st.in_queue(1).words().data());
+  EXPECT_NE(st.out_queue(0).words().data(), st.out_queue(9).words().data());
+}
+
+TEST(DistState, SharedInAliasesWithinNode) {
+  const auto dg = small_dist(16);
+  DistState st(dg, share_in_queue(), 2, 8);
+  EXPECT_TRUE(st.shared_in());
+  EXPECT_FALSE(st.shared_out());
+  // Ranks 0..7 (node 0) share one in_queue; rank 8 (node 1) does not.
+  EXPECT_EQ(st.in_queue(0).words().data(), st.in_queue(7).words().data());
+  EXPECT_NE(st.in_queue(0).words().data(), st.in_queue(8).words().data());
+  // out stays private.
+  EXPECT_NE(st.out_queue(0).words().data(), st.out_queue(7).words().data());
+}
+
+TEST(DistState, SharedAllAliasesOutToo) {
+  const auto dg = small_dist(16);
+  DistState st(dg, share_all(), 2, 8);
+  EXPECT_TRUE(st.shared_out());
+  EXPECT_EQ(st.out_queue(2).words().data(), st.out_queue(5).words().data());
+  EXPECT_EQ(st.out_summary(2).bits().words().data(),
+            st.out_summary(5).bits().words().data());
+  EXPECT_NE(st.out_queue(0).words().data(), st.out_queue(8).words().data());
+}
+
+TEST(DistState, SharingDegeneratesWithPpn1) {
+  const auto dg = small_dist(2);
+  DistState st(dg, share_all(), 2, 1);
+  // One rank per node: "shared" is just private.
+  EXPECT_FALSE(st.shared_in());
+  EXPECT_FALSE(st.shared_out());
+}
+
+TEST(DistState, SummarySizesFollowGranularity) {
+  const auto dg = small_dist(8);
+  for (std::uint64_t g : {64ull, 256ull, 1024ull}) {
+    DistState st(dg, granularity(g), 1, 8);
+    EXPECT_EQ(st.summary_bits(),
+              (st.padded_bits() + g - 1) / g);
+  }
+}
+
+TEST(DistState, OwnedStructuresSizedPerRank) {
+  const auto dg = small_dist(8);
+  DistState st(dg, original(), 1, 8);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(st.pred(r).size(), dg.locals[static_cast<size_t>(r)].owned());
+    EXPECT_EQ(st.unvisited_edges(r),
+              dg.locals[static_cast<size_t>(r)].owned_edges());
+  }
+}
+
+TEST(DistState, RejectsInvalidConfig) {
+  const auto dg = small_dist(8);
+  Config bad;
+  bad.parallel_allgather = true;  // requires sharing == all
+  EXPECT_THROW(DistState(dg, bad, 1, 8), std::invalid_argument);
+  Config zero_g;
+  zero_g.summary_granularity = 0;
+  EXPECT_THROW(DistState(dg, zero_g, 1, 8), std::invalid_argument);
+}
+
+TEST(DistState, RejectsShapeMismatch) {
+  const auto dg = small_dist(8);
+  EXPECT_THROW(DistState(dg, original(), 2, 8), std::invalid_argument);
+}
+
+TEST(Config, NamesAndFactories) {
+  EXPECT_EQ(original().name(), "bind-to-socket/share-none/g64");
+  EXPECT_EQ(par_allgather().name(), "bind-to-socket/share-all/par-ag/g64");
+  EXPECT_EQ(granularity(256).name(), "bind-to-socket/share-all/par-ag/g256");
+  Config td;
+  td.direction = Direction::top_down_only;
+  EXPECT_NE(td.name().find("top-down"), std::string::npos);
+  EXPECT_TRUE(granularity(256).validate().empty());
+}
+
+TEST(Costs, GraphPlacementFollowsBindMode) {
+  Config c;
+  c.bind = BindMode::bind_to_socket;
+  EXPECT_EQ(graph_placement(c, 8), sim::Placement::socket_local);
+  // A single bound rank spanning the node cannot localize its memory.
+  EXPECT_EQ(graph_placement(c, 1), sim::Placement::interleaved);
+  c.bind = BindMode::interleave;
+  EXPECT_EQ(graph_placement(c, 8), sim::Placement::interleaved);
+  c.bind = BindMode::noflag;
+  EXPECT_EQ(graph_placement(c, 1), sim::Placement::single_home);
+}
+
+TEST(Costs, BindingMakesProbesCheaper) {
+  rt::Cluster cl(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 8);
+  StructSizes sz;
+  sz.in_queue_bytes = 512ull << 20;
+  sz.in_summary_bytes = 8ull << 20;
+  sz.owned_bytes = 1 << 20;
+  sz.td_group_count = 1000;
+  Config bound;  // bind_to_socket
+  Config inter;
+  inter.bind = BindMode::interleave;
+  const UnitCosts ub = unit_costs(cl, bound, sz);
+  const UnitCosts ui = unit_costs(cl, inter, sz);
+  EXPECT_LT(ub.inqueue_probe_ns, ui.inqueue_probe_ns);
+  EXPECT_LT(ub.edge_scan_ns, ui.edge_scan_ns);
+  EXPECT_DOUBLE_EQ(ub.omp_div, ui.omp_div);
+}
+
+TEST(Costs, Ppn1GetsNodeWideThreads) {
+  rt::Cluster c1(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 1);
+  rt::Cluster c8(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 8);
+  StructSizes sz;
+  sz.in_queue_bytes = 1 << 20;
+  sz.in_summary_bytes = 1 << 14;
+  sz.owned_bytes = 1 << 16;
+  const UnitCosts u1 = unit_costs(c1, Config{}, sz);
+  const UnitCosts u8 = unit_costs(c8, Config{}, sz);
+  EXPECT_NEAR(u1.omp_div, 8.0 * u8.omp_div, 1e-9);
+}
+
+}  // namespace
+}  // namespace numabfs::bfs

@@ -1,0 +1,177 @@
+#include "graph/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace numabfs::graph {
+namespace {
+
+TEST(Bitmap, SetGetClear) {
+  Bitmap bm(200);
+  auto v = bm.view();
+  EXPECT_FALSE(v.get(0));
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(199);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(199));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_FALSE(v.get(128));
+  v.clear(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(Bitmap, ResetZeroesEverything) {
+  Bitmap bm(130);
+  auto v = bm.view();
+  for (std::uint64_t i = 0; i < 130; i += 7) v.set(i);
+  EXPECT_GT(v.count(), 0u);
+  v.reset();
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_FALSE(v.any());
+}
+
+TEST(Bitmap, CountRangeEdgeCases) {
+  Bitmap bm(256);
+  auto v = bm.view();
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(255);
+  EXPECT_EQ(v.count_range(0, 0), 0u);
+  EXPECT_EQ(v.count_range(0, 1), 1u);
+  EXPECT_EQ(v.count_range(0, 64), 2u);
+  EXPECT_EQ(v.count_range(63, 65), 2u);
+  EXPECT_EQ(v.count_range(64, 256), 2u);
+  EXPECT_EQ(v.count_range(255, 256), 1u);
+  EXPECT_EQ(v.count(), 4u);
+}
+
+TEST(Bitmap, CountRangeMatchesNaive) {
+  std::mt19937_64 rng(7);
+  Bitmap bm(1000);
+  auto v = bm.view();
+  std::vector<bool> ref(1000, false);
+  for (int i = 0; i < 300; ++i) {
+    const auto b = rng() % 1000;
+    v.set(b);
+    ref[b] = true;
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uint64_t a = rng() % 1001, b = rng() % 1001;
+    if (a > b) std::swap(a, b);
+    std::uint64_t naive = 0;
+    for (std::uint64_t i = a; i < b; ++i) naive += ref[i];
+    EXPECT_EQ(v.count_range(a, b), naive) << "range [" << a << "," << b << ")";
+  }
+}
+
+TEST(Bitmap, ForEachSetVisitsExactlySetBits) {
+  Bitmap bm(300);
+  auto v = bm.view();
+  std::vector<std::uint64_t> want = {0, 1, 63, 64, 65, 127, 128, 250, 299};
+  for (auto b : want) v.set(b);
+  std::vector<std::uint64_t> got;
+  v.for_each_set([&](std::uint64_t b) { got.push_back(b); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(Bitmap, ForEachSetSubrange) {
+  Bitmap bm(300);
+  auto v = bm.view();
+  for (std::uint64_t b = 0; b < 300; b += 3) v.set(b);
+  std::vector<std::uint64_t> got;
+  v.for_each_set(64, 130, [&](std::uint64_t b) { got.push_back(b); });
+  for (auto b : got) {
+    EXPECT_GE(b, 64u);
+    EXPECT_LT(b, 130u);
+    EXPECT_EQ(b % 3, 0u);
+  }
+  std::uint64_t expect_count = 0;
+  for (std::uint64_t b = 64; b < 130; ++b)
+    if (b % 3 == 0) ++expect_count;
+  EXPECT_EQ(got.size(), expect_count);
+}
+
+TEST(Bitmap, ForEachSetEmptyAndFull) {
+  Bitmap bm(128);
+  auto v = bm.view();
+  int calls = 0;
+  v.for_each_set([&](std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  for (std::uint64_t b = 0; b < 128; ++b) v.set(b);
+  v.for_each_set([&](std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 128);
+}
+
+// --- copy_bits: fuzz against a naive bit-by-bit reference ----------------
+
+void naive_or_copy(std::vector<bool>& dst, std::uint64_t dst_bit,
+                   const std::vector<bool>& src, std::uint64_t src_bit,
+                   std::uint64_t nbits) {
+  for (std::uint64_t i = 0; i < nbits; ++i)
+    if (src[src_bit + i]) dst[dst_bit + i] = true;
+}
+
+class CopyBitsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CopyBitsFuzz, MatchesNaiveReference) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  constexpr std::uint64_t kBits = 700;
+  for (int trial = 0; trial < 50; ++trial) {
+    Bitmap src_bm(kBits), dst_bm(kBits);
+    auto src = src_bm.view();
+    auto dst = dst_bm.view();
+    std::vector<bool> src_ref(kBits, false), dst_ref(kBits, false);
+    for (int i = 0; i < 200; ++i) {
+      const auto b = rng() % kBits;
+      src.set(b);
+      src_ref[b] = true;
+    }
+    // Pre-existing destination bits must survive (OR semantics).
+    for (int i = 0; i < 40; ++i) {
+      const auto b = rng() % kBits;
+      dst.set(b);
+      dst_ref[b] = true;
+    }
+    const std::uint64_t nbits = rng() % 400;
+    const std::uint64_t src_bit = rng() % (kBits - nbits + 1);
+    const std::uint64_t dst_bit = rng() % (kBits - nbits + 1);
+    const bool atomic = (rng() & 1) != 0;
+
+    copy_bits(dst.words(), dst_bit, src.words(), src_bit, nbits, atomic);
+    naive_or_copy(dst_ref, dst_bit, src_ref, src_bit, nbits);
+
+    for (std::uint64_t b = 0; b < kBits; ++b)
+      ASSERT_EQ(dst.get(b), dst_ref[b])
+          << "bit " << b << " trial " << trial << " nbits=" << nbits
+          << " src_bit=" << src_bit << " dst_bit=" << dst_bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CopyBitsFuzz, ::testing::Range(1, 9));
+
+TEST(CopyBits, ZeroLengthIsNoop) {
+  Bitmap a(64), b(64);
+  a.view().set(3);
+  copy_bits(b.view().words(), 10, a.view().words(), 0, 0, false);
+  EXPECT_EQ(b.view().count(), 0u);
+}
+
+TEST(CopyBits, WordAlignedBulk) {
+  Bitmap a(256), b(256);
+  for (std::uint64_t i = 0; i < 256; i += 2) a.view().set(i);
+  copy_bits(b.view().words(), 64, a.view().words(), 64, 128, false);
+  EXPECT_EQ(b.view().count_range(0, 64), 0u);
+  EXPECT_EQ(b.view().count_range(64, 192), 64u);
+  EXPECT_EQ(b.view().count_range(192, 256), 0u);
+}
+
+}  // namespace
+}  // namespace numabfs::graph

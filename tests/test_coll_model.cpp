@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "runtime/coll_model.hpp"
+
+namespace numabfs::rt::coll_model {
+namespace {
+
+Cluster make(int nodes, int ppn, sim::CostParams p = {}) {
+  return Cluster(sim::Topology::xeon_x7550_cluster(nodes), p, ppn);
+}
+
+TEST(CollModel, Eq1VolumeLaw) {
+  // Paper Eq. (1): total transmitted = m * (np - 1).
+  EXPECT_EQ(allgather_volume_bytes(512, 8), 512u * 7);
+  EXPECT_EQ(allgather_volume_bytes(512, 1), 0u);
+  // Eq. (2): 8 subgroups each allgather m/8 over np/8 members:
+  // 8 * (m/8) * (np/8 - 1) = m * (np/8 - 1) — same as one process per node
+  // gathering node chunks.
+  const std::uint64_t m = 1 << 20;
+  const int np = 128;
+  const std::uint64_t subgroups = 8 * allgather_volume_bytes(m / 8, np / 8);
+  const std::uint64_t per_node = allgather_volume_bytes(m, np / 8);
+  EXPECT_EQ(subgroups, per_node);
+}
+
+TEST(CollModel, FlatRingGrowsWithRanks) {
+  const std::uint64_t chunk = 1 << 16;
+  Cluster c2(make(2, 8));
+  Cluster c4(make(4, 8));
+  Cluster c8(make(8, 8));
+  const double t2 = flat_ring(c2, chunk).total_ns;
+  const double t4 = flat_ring(c4, chunk).total_ns;
+  const double t8 = flat_ring(c8, chunk).total_ns;
+  EXPECT_LT(t2, t4);
+  EXPECT_LT(t4, t8);
+}
+
+TEST(CollModel, Ppn8FlatRingCostlierThanPpn1) {
+  // The paper's Section II.D.2 point: one process per socket inflates the
+  // collective cost (2.34x at 8 nodes in Fig. 12).
+  const std::uint64_t total = 64ull << 20;  // total in_queue bytes
+  Cluster c1(make(8, 1));
+  Cluster c8(make(8, 8));
+  const double t1 = flat_ring(c1, total / 8).total_ns;    // chunk = m/8
+  const double t8 = flat_ring(c8, total / 64).total_ns;   // chunk = m/64
+  EXPECT_GT(t8, 1.5 * t1);
+  EXPECT_LT(t8, 4.0 * t1);
+}
+
+TEST(CollModel, LeaderIntraDominatesAtLargeMessages) {
+  // Fig. 6: for 64/512 MB allgathers the gather+bcast (intra-node) time
+  // exceeds the inter-node time.
+  Cluster c(make(16, 8));
+  for (std::uint64_t total : {64ull << 20, 512ull << 20}) {
+    const std::uint64_t chunk = total / 128;
+    const CollTimes t = leader_allgather(c, chunk, true, true, 1);
+    EXPECT_GT(t.gather_ns + t.bcast_ns, t.inter_ns) << total;
+    EXPECT_GT(t.bcast_ns, t.gather_ns);  // bcast moves np/ppn x more data
+  }
+}
+
+TEST(CollModel, SharingEliminatesSteps) {
+  Cluster c(make(16, 8));
+  const std::uint64_t chunk = 4 << 20;
+  const CollTimes full = leader_allgather(c, chunk, true, true, 1);
+  const CollTimes no_bcast = leader_allgather(c, chunk, true, false, 1);
+  const CollTimes neither = leader_allgather(c, chunk, false, false, 1);
+  EXPECT_DOUBLE_EQ(no_bcast.bcast_ns, 0.0);
+  EXPECT_DOUBLE_EQ(neither.gather_ns, 0.0);
+  EXPECT_LT(no_bcast.total_ns, full.total_ns);
+  EXPECT_LT(neither.total_ns, no_bcast.total_ns);
+  // Dropping the broadcast saves the most: it carries np/ppn x the data.
+  EXPECT_GT(full.total_ns - no_bcast.total_ns,
+            no_bcast.total_ns - neither.total_ns);
+}
+
+TEST(CollModel, ParallelAllgatherBeatsSingleLeader) {
+  // Fig. 7: eight concurrent subgroup rings use both IB ports.
+  Cluster c(make(16, 8));
+  const std::uint64_t chunk = 4 << 20;
+  const CollTimes one = leader_allgather(c, chunk, false, false, 1);
+  const CollTimes par = leader_allgather(c, chunk, false, false, 8);
+  EXPECT_LT(par.inter_ns, one.inter_ns);
+  EXPECT_GT(par.inter_ns, 0.3 * one.inter_ns);  // bounded by port peak
+}
+
+TEST(CollModel, NicSaturationCurveMatchesFig4) {
+  // One flow ~ half of dual-port peak; eight flows ~ 90%.
+  Cluster c(make(2, 8));
+  const double peak = 2 * c.params().nic_port_bw;
+  EXPECT_NEAR(c.link().nic_node_bw(1), 0.5 * peak, 1e-9);
+  EXPECT_GT(c.link().nic_node_bw(8), 0.85 * peak);
+  EXPECT_LT(c.link().nic_node_bw(8), peak);
+  // Monotone in flows.
+  for (int f = 1; f < 8; ++f)
+    EXPECT_LT(c.link().nic_node_bw(f), c.link().nic_node_bw(f + 1));
+}
+
+TEST(CollModel, WeakNodeSlowsRing) {
+  const std::uint64_t chunk = 1 << 20;
+  Cluster ok(make(16, 8));
+  Cluster weak(Cluster(
+      sim::Topology::xeon_x7550_cluster(16).with_weak_node(15, 0.5),
+      sim::CostParams{}, 8));
+  EXPECT_GT(inter_ring_ns(weak, chunk, 1), inter_ring_ns(ok, chunk, 1));
+}
+
+TEST(CollModel, RecursiveDoublingSavesLatencyOnSmallMessages) {
+  Cluster c(make(16, 8));
+  const std::uint64_t small = 512;  // summary-sized
+  EXPECT_LT(inter_recursive_doubling_ns(c, small, 1),
+            inter_ring_ns(c, small, 1));
+}
+
+TEST(CollModel, SingleNodeHasNoInterTime) {
+  Cluster c(make(1, 8));
+  EXPECT_DOUBLE_EQ(inter_ring_ns(c, 1 << 20, 1), 0.0);
+  const CollTimes t = leader_allgather(c, 1 << 16, false, false, 1);
+  EXPECT_DOUBLE_EQ(t.total_ns, 0.0);
+}
+
+TEST(CollModel, AllreduceScalesLogarithmically) {
+  Cluster c(make(16, 8));
+  const double t2 = allreduce_scalar_ns(c, 2);
+  const double t128 = allreduce_scalar_ns(c, 128);
+  EXPECT_NEAR(t128 / t2, 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(allreduce_scalar_ns(c, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace numabfs::rt::coll_model
+
+namespace numabfs::rt::coll_model {
+namespace {
+
+TEST(CollModel, PerfectOverlapCannotBeatSharing) {
+  // Section III.A: the intra-node steps alone exceed the inter-node step
+  // at the paper's message sizes, so max(intra, inter) >= sharing's inter.
+  Cluster c(Cluster(sim::Topology::xeon_x7550_cluster(16), sim::CostParams{}, 8));
+  for (std::uint64_t total : {64ull << 20, 512ull << 20}) {
+    const std::uint64_t chunk = total / 128;
+    const CollTimes over = leader_allgather_overlapped(c, chunk);
+    const CollTimes shared = leader_allgather(c, chunk, false, false, 1);
+    const CollTimes full = leader_allgather(c, chunk, true, true, 1);
+    EXPECT_LT(over.total_ns, full.total_ns);     // overlap does help...
+    EXPECT_GT(over.total_ns, shared.total_ns);   // ...but sharing wins
+    // And the overlapped bound equals the intra side (intra dominates).
+    EXPECT_DOUBLE_EQ(over.total_ns, over.gather_ns + over.bcast_ns);
+  }
+}
+
+}  // namespace
+}  // namespace numabfs::rt::coll_model

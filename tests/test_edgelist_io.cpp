@@ -1,0 +1,73 @@
+#include "graph/edgelist_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/rmat.hpp"
+
+namespace numabfs::graph {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(EdgelistIo, RoundTrip) {
+  RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 4;
+  const auto edges = rmat_edges(p);
+  const std::string path = tmp_path("numabfs_io_roundtrip.bin");
+  save_edges(path, p.num_vertices(), edges);
+  const LoadedEdges got = load_edges(path);
+  EXPECT_EQ(got.num_vertices, p.num_vertices());
+  ASSERT_EQ(got.edges.size(), edges.size());
+  EXPECT_TRUE(std::equal(edges.begin(), edges.end(), got.edges.begin()));
+  std::filesystem::remove(path);
+}
+
+TEST(EdgelistIo, EmptyEdgeList) {
+  const std::string path = tmp_path("numabfs_io_empty.bin");
+  save_edges(path, 16, {});
+  const LoadedEdges got = load_edges(path);
+  EXPECT_EQ(got.num_vertices, 16u);
+  EXPECT_TRUE(got.edges.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(EdgelistIo, MissingFileThrows) {
+  EXPECT_THROW(load_edges(tmp_path("numabfs_io_nonexistent.bin")),
+               std::runtime_error);
+}
+
+TEST(EdgelistIo, BadMagicThrows) {
+  const std::string path = tmp_path("numabfs_io_badmagic.bin");
+  std::ofstream(path) << "definitely not an edge list, just text";
+  EXPECT_THROW(load_edges(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(EdgelistIo, TruncatedPayloadThrows) {
+  const std::string path = tmp_path("numabfs_io_trunc.bin");
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}};
+  save_edges(path, 4, edges);
+  // Chop the last edge in half.
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 4);
+  EXPECT_THROW(load_edges(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(EdgelistIo, OutOfRangeVertexThrows) {
+  const std::string path = tmp_path("numabfs_io_range.bin");
+  const std::vector<Edge> edges = {{0, 9}};  // 9 >= n=4
+  save_edges(path, 4, edges);
+  EXPECT_THROW(load_edges(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace numabfs::graph

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/csr.hpp"
+#include "graph/dist_graph.hpp"
+#include "graph/partition.hpp"
+#include "graph/reference_bfs.hpp"
+#include "graph/rmat.hpp"
+#include "graph/validate.hpp"
+
+namespace numabfs::graph {
+namespace {
+
+// --- Csr -----------------------------------------------------------------
+
+TEST(Csr, BuildsSymmetricAdjacency) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {3, 3}};
+  const Csr g = Csr::from_edges(4, edges);
+  EXPECT_EQ(g.num_directed_edges(), 6u);  // self-loop dropped
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+  // symmetric: u in adj(v) <=> v in adj(u)
+  for (Vertex v = 0; v < 4; ++v)
+    for (Vertex u : g.neighbors(v)) {
+      const auto nb = g.neighbors(u);
+      EXPECT_NE(std::find(nb.begin(), nb.end(), v), nb.end());
+    }
+}
+
+TEST(Csr, KeepsDuplicateEdges) {
+  const std::vector<Edge> edges = {{0, 1}, {0, 1}, {1, 0}};
+  const Csr g = Csr::from_edges(2, edges);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 3u);
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = Csr::from_edges(5, {});
+  EXPECT_EQ(g.num_directed_edges(), 0u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+// --- Partition1D ----------------------------------------------------------
+
+TEST(Partition, CoversExactlyOnce) {
+  for (std::uint64_t n : {64ull, 100ull, 1000ull, 4096ull}) {
+    for (int np : {1, 2, 3, 8, 16}) {
+      Partition1D part(n, np);
+      std::uint64_t covered = 0;
+      for (int r = 0; r < np; ++r) {
+        // Non-empty blocks start word-aligned; empty tails clip to n.
+        EXPECT_TRUE(part.begin(r) % 64 == 0 || part.begin(r) == n)
+            << part.begin(r);
+        EXPECT_LE(part.begin(r), part.end(r));
+        covered += part.size(r);
+        for (std::uint64_t v = part.begin(r); v < part.end(r); ++v)
+          EXPECT_EQ(part.owner(v), r);
+      }
+      EXPECT_EQ(covered, n) << "n=" << n << " np=" << np;
+      EXPECT_GE(part.padded_bits(), n);
+      EXPECT_EQ(part.padded_bits() % 64, 0u);
+    }
+  }
+}
+
+TEST(Partition, EqualBlocksForPowerOfTwo) {
+  Partition1D part(1 << 12, 16);
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(part.size(r), (1u << 12) / 16);
+}
+
+// --- DistGraph -------------------------------------------------------------
+
+TEST(DistGraph, PreservesAllEdgesBothViews) {
+  RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 8;
+  const auto edges = rmat_edges(p);
+  const Csr g = Csr::from_edges(p.num_vertices(), edges);
+  const Partition1D part(g.num_vertices(), 8);
+  const DistGraph d = DistGraph::build(g, part);
+
+  std::uint64_t bu_total = 0, td_total = 0;
+  for (const auto& lg : d.locals) {
+    bu_total += lg.bu_adj.size();
+    td_total += lg.td_adj.size();
+    // td view is the transpose of the bu view: same multiset of pairs.
+    EXPECT_EQ(lg.bu_adj.size(), lg.td_adj.size());
+    // groups are sorted and offsets consistent
+    EXPECT_TRUE(std::is_sorted(lg.td_keys.begin(), lg.td_keys.end()));
+    EXPECT_EQ(lg.td_offsets.size(), lg.td_keys.size() + 1);
+    EXPECT_EQ(lg.td_offsets.back(), lg.td_adj.size());
+    // every td target is owned
+    for (Vertex v : lg.td_adj) {
+      EXPECT_GE(v, lg.vbegin);
+      EXPECT_LT(v, lg.vend);
+    }
+  }
+  EXPECT_EQ(bu_total, g.num_directed_edges());
+  EXPECT_EQ(td_total, g.num_directed_edges());
+}
+
+TEST(DistGraph, BottomUpRowsMatchCsr) {
+  RmatParams p;
+  p.scale = 9;
+  p.edgefactor = 4;
+  const auto edges = rmat_edges(p);
+  const Csr g = Csr::from_edges(p.num_vertices(), edges);
+  const Partition1D part(g.num_vertices(), 4);
+  const DistGraph d = DistGraph::build(g, part);
+  for (const auto& lg : d.locals) {
+    for (std::uint64_t lv = 0; lv < lg.owned(); ++lv) {
+      const auto mine = lg.bu_neighbors(lv);
+      const auto ref = g.neighbors(static_cast<Vertex>(lg.vbegin + lv));
+      ASSERT_EQ(mine.size(), ref.size());
+      EXPECT_TRUE(std::equal(mine.begin(), mine.end(), ref.begin()));
+    }
+  }
+}
+
+// --- reference BFS + validation -------------------------------------------
+
+TEST(ReferenceBfs, SmallPath) {
+  // 0-1-2-3 path plus isolated 4
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}};
+  const Csr g = Csr::from_edges(5, edges);
+  const BfsTree t = reference_bfs(g, 0);
+  EXPECT_EQ(t.visited, 4u);
+  EXPECT_EQ(t.parent[0], 0u);
+  EXPECT_EQ(t.parent[1], 0u);
+  EXPECT_EQ(t.parent[2], 1u);
+  EXPECT_EQ(t.parent[3], 2u);
+  EXPECT_EQ(t.parent[4], kNoVertex);
+  EXPECT_EQ(t.depth[3], 3u);
+}
+
+TEST(Validate, AcceptsReferenceTree) {
+  RmatParams p;
+  p.scale = 10;
+  const auto edges = rmat_edges(p);
+  const Csr g = Csr::from_edges(p.num_vertices(), edges);
+  Vertex root = 0;
+  while (g.degree(root) == 0) ++root;
+  const BfsTree t = reference_bfs(g, root);
+  const auto r = validate_bfs_tree(g, root, t.parent);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.visited, t.visited);
+  EXPECT_GT(r.traversed_edges(), 0u);
+}
+
+struct Corruption {
+  const char* name;
+  void (*apply)(const Csr&, Vertex, std::vector<Vertex>&);
+};
+
+void corrupt_root(const Csr&, Vertex root, std::vector<Vertex>& par) {
+  par[root] = root == 0 ? 1 : 0;
+}
+void corrupt_fake_edge(const Csr& g, Vertex root, std::vector<Vertex>& par) {
+  // point some visited vertex at a non-neighbor
+  for (std::uint64_t v = 0; v < g.num_vertices(); ++v) {
+    if (v == root || par[v] == kNoVertex) continue;
+    const auto nb = g.neighbors(static_cast<Vertex>(v));
+    for (Vertex cand = 0; cand < g.num_vertices(); ++cand) {
+      if (cand == v) continue;
+      if (par[cand] == kNoVertex) continue;  // keep visited set intact
+      if (std::find(nb.begin(), nb.end(), cand) == nb.end()) {
+        par[v] = cand;
+        return;
+      }
+    }
+  }
+}
+void corrupt_drop_vertex(const Csr& g, Vertex root, std::vector<Vertex>& par) {
+  for (std::uint64_t v = 0; v < g.num_vertices(); ++v)
+    if (v != root && par[v] != kNoVertex) {
+      par[v] = kNoVertex;
+      return;
+    }
+}
+void corrupt_cycle(const Csr& g, Vertex root, std::vector<Vertex>& par) {
+  // create a 2-cycle between adjacent visited vertices u-v
+  for (std::uint64_t v = 0; v < g.num_vertices(); ++v) {
+    if (v == root || par[v] == kNoVertex) continue;
+    for (Vertex u : g.neighbors(static_cast<Vertex>(v))) {
+      if (u == root || par[u] == kNoVertex) continue;
+      par[v] = u;
+      par[u] = static_cast<Vertex>(v);
+      return;
+    }
+  }
+}
+
+class ValidateRejects : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValidateRejects, CorruptedTrees) {
+  static const Corruption kCorruptions[] = {
+      {"wrong-root", corrupt_root},
+      {"fake-edge", corrupt_fake_edge},
+      {"dropped-vertex", corrupt_drop_vertex},
+      {"parent-cycle", corrupt_cycle},
+  };
+  RmatParams p;
+  p.scale = 9;
+  const auto edges = rmat_edges(p);
+  const Csr g = Csr::from_edges(p.num_vertices(), edges);
+  Vertex root = 0;
+  while (g.degree(root) == 0) ++root;
+  const BfsTree t = reference_bfs(g, root);
+  ASSERT_GT(t.visited, 3u);
+
+  const Corruption& c = kCorruptions[GetParam()];
+  std::vector<Vertex> par = t.parent;
+  c.apply(g, root, par);
+  ASSERT_NE(par, t.parent) << c.name << ": corruption was a no-op";
+  const auto r = validate_bfs_tree(g, root, par);
+  EXPECT_FALSE(r.ok) << c.name << " accepted";
+}
+
+INSTANTIATE_TEST_SUITE_P(Corruptions, ValidateRejects, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace numabfs::graph

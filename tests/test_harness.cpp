@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "harness/graph500.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+
+namespace numabfs::harness {
+namespace {
+
+TEST(HarmonicMean, Basics) {
+  EXPECT_DOUBLE_EQ(harmonic_mean({2.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean({1.0, 1.0, 1.0}), 1.0);
+  // Harmonic mean is dominated by the slowest iteration.
+  EXPECT_NEAR(harmonic_mean({1.0, 100.0}), 1.98, 0.01);
+  EXPECT_DOUBLE_EQ(harmonic_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean({0.0, 5.0}), 0.0);
+  EXPECT_LE(harmonic_mean({3.0, 6.0}), (3.0 + 6.0) / 2.0);  // HM <= AM
+}
+
+TEST(GraphBundle, RootsAreDistinctAndSearchable) {
+  const GraphBundle b = GraphBundle::make(12, 16, 5, 32);
+  EXPECT_GT(b.roots.size(), 8u);
+  std::set<graph::Vertex> seen;
+  for (graph::Vertex r : b.roots) {
+    EXPECT_GT(b.csr.degree(r), 0u) << "isolated root selected";
+    EXPECT_TRUE(seen.insert(r).second) << "duplicate root";
+  }
+}
+
+TEST(GraphBundle, DeterministicForSeed) {
+  const GraphBundle a = GraphBundle::make(10, 16, 7, 8);
+  const GraphBundle b = GraphBundle::make(10, 16, 7, 8);
+  EXPECT_EQ(a.roots, b.roots);
+  EXPECT_EQ(a.csr.num_directed_edges(), b.csr.num_directed_edges());
+}
+
+TEST(Experiment, EvalResultConsistency) {
+  const GraphBundle b = GraphBundle::make(11, 16, 5, 8);
+  ExperimentOptions eo;
+  eo.nodes = 2;
+  eo.ppn = 4;
+  Experiment e(b, eo);
+  const EvalResult r = e.run(bfs::original(), 4);
+  EXPECT_EQ(r.roots, 4);
+  EXPECT_EQ(r.per_root.size(), 4u);
+  EXPECT_GT(r.harmonic_teps, 0.0);
+  EXPECT_GT(r.mean_time_ns, 0.0);
+  EXPECT_GE(r.bu_comm_fraction, 0.0);
+  EXPECT_LE(r.bu_comm_fraction, 1.0);
+  // Harmonic mean never exceeds the fastest iteration.
+  double best = 0;
+  for (const auto& rr : r.per_root) best = std::max(best, rr.teps());
+  EXPECT_LE(r.harmonic_teps, best + 1e-6);
+}
+
+TEST(Experiment, CapsRootsAtBundleSize) {
+  const GraphBundle b = GraphBundle::make(10, 16, 5, 3);
+  ExperimentOptions eo;
+  eo.nodes = 1;
+  eo.ppn = 4;
+  Experiment e(b, eo);
+  EXPECT_EQ(e.run(bfs::original(), 100).roots,
+            static_cast<int>(b.roots.size()));
+}
+
+TEST(Experiment, RejectsInvalidConfig) {
+  const GraphBundle b = GraphBundle::make(10, 16, 5, 2);
+  ExperimentOptions eo;
+  Experiment e(b, eo);
+  bfs::Config bad;
+  bad.parallel_allgather = true;
+  EXPECT_THROW(e.run(bad, 1), std::invalid_argument);
+}
+
+TEST(Options, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--scale=20", "--flag", "--name=abc",
+                        "--ratio=2.5"};
+  Options o(5, const_cast<char**>(argv));
+  EXPECT_EQ(o.get_int("scale", 0), 20);
+  EXPECT_TRUE(o.get_bool("flag", false));
+  EXPECT_EQ(o.get_str("name", ""), "abc");
+  EXPECT_DOUBLE_EQ(o.get_double("ratio", 0.0), 2.5);
+  EXPECT_EQ(o.get_int("missing", 7), 7);
+  EXPECT_FALSE(o.has("missing"));
+}
+
+TEST(Options, RejectsPositionalArgs) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Options(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+TEST(Table, AlignsColumnsAndFormats) {
+  Table t({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"long-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Header and the two rows and a separator.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+
+  EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::ms(2.5e6, 1), "2.5 ms");
+  EXPECT_EQ(Table::gteps(39.2e9, 1), "39.2 GTEPS");
+  EXPECT_EQ(Table::pct(0.544, 1), "54.4%");
+}
+
+}  // namespace
+}  // namespace numabfs::harness
+
+namespace numabfs::harness {
+namespace {
+
+TEST(GraphBundle, FromExternalEdges) {
+  // An external (non-R-MAT) graph goes through the same pipeline.
+  std::vector<graph::Edge> edges;
+  for (graph::Vertex v = 1; v < 300; ++v)
+    edges.push_back({static_cast<graph::Vertex>(v / 3), v});
+  const GraphBundle b = GraphBundle::from_edges(300, edges, 5, 8);
+  EXPECT_EQ(b.csr.num_vertices(), 300u);
+  EXPECT_GE(b.params.scale, 9);
+  ASSERT_FALSE(b.roots.empty());
+  for (graph::Vertex r : b.roots) EXPECT_GT(b.csr.degree(r), 0u);
+
+  ExperimentOptions eo;
+  eo.nodes = 1;
+  eo.ppn = 4;
+  Experiment e(b, eo);
+  const EvalResult res = e.run(bfs::original(), 2);
+  EXPECT_GT(res.harmonic_teps, 0.0);
+  EXPECT_EQ(res.visited_mean, 300u);  // the tree graph is connected
+}
+
+TEST(GraphBundle, FromEdgesRejectsEmpty) {
+  EXPECT_THROW(GraphBundle::from_edges(0, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace numabfs::harness

@@ -1,0 +1,141 @@
+// Edge cases of the hybrid driver: degenerate graphs, extreme switching
+// thresholds, single-rank clusters, repeated state reuse.
+
+#include <gtest/gtest.h>
+
+#include "bfs/hybrid.hpp"
+#include "graph/validate.hpp"
+#include "harness/graph500.hpp"
+
+namespace numabfs {
+namespace {
+
+struct Rig {
+  graph::Csr csr;
+  graph::DistGraph dg;
+  rt::Cluster cluster;
+
+  Rig(std::uint64_t n, std::vector<graph::Edge> edges, int nodes, int ppn)
+      : csr(graph::Csr::from_edges(n, edges)),
+        dg(graph::DistGraph::build(csr,
+                                   graph::Partition1D(n, nodes * ppn))),
+        cluster(sim::Topology::xeon_x7550_cluster(nodes), sim::CostParams{},
+                ppn) {}
+
+  bfs::BfsRunResult run(const bfs::Config& cfg, graph::Vertex root) {
+    bfs::DistState st(dg, cfg, cluster.topo().nodes(), cluster.ppn());
+    bfs::BfsRunResult r = bfs::run_bfs(cluster, dg, st, root);
+    const auto parent = bfs::gather_parents(dg, st);
+    const auto v = graph::validate_bfs_tree(csr, root, parent);
+    EXPECT_TRUE(v.ok) << v.error;
+    return r;
+  }
+};
+
+TEST(HybridEdgeCases, TwoVertexGraph) {
+  Rig rig(64, {{0, 1}}, 1, 8);
+  const auto r = rig.run(bfs::Config{}, 0);
+  EXPECT_EQ(r.visited, 2u);
+  EXPECT_EQ(r.traversed_edges(), 1u);
+}
+
+TEST(HybridEdgeCases, SelfLoopOnlyRootBehavesAsIsolated) {
+  Rig rig(64, {{5, 5}}, 1, 4);  // self-loops are dropped at CSR build
+  const auto r = rig.run(bfs::Config{}, 5);
+  EXPECT_EQ(r.visited, 1u);
+  EXPECT_EQ(r.traversed_edges(), 0u);
+}
+
+TEST(HybridEdgeCases, CompleteBipartiteFinishesInTwoRealLevels) {
+  // K_{4,60}: one hop reaches everything from either side.
+  std::vector<graph::Edge> edges;
+  for (graph::Vertex a = 0; a < 4; ++a)
+    for (graph::Vertex b = 4; b < 64; ++b) edges.push_back({a, b});
+  Rig rig(64, edges, 1, 8);
+  const auto r = rig.run(bfs::Config{}, 0);
+  EXPECT_EQ(r.visited, 64u);
+  EXPECT_LE(r.levels, 4);  // 2 discovery levels + terminal
+}
+
+TEST(HybridEdgeCases, LongPathManyLevels) {
+  // A 256-vertex path: 255 levels, frontier never grows — the growing-
+  // frontier guard must keep it top-down throughout.
+  std::vector<graph::Edge> edges;
+  for (graph::Vertex v = 0; v + 1 < 256; ++v) edges.push_back({v, static_cast<graph::Vertex>(v + 1)});
+  Rig rig(256, edges, 1, 4);
+  const auto r = rig.run(bfs::Config{}, 0);
+  EXPECT_EQ(r.visited, 256u);
+  EXPECT_EQ(r.bu_levels, 0) << "path frontiers never grow";
+  EXPECT_GE(r.levels, 255);
+}
+
+TEST(HybridEdgeCases, ExtremeAlphaForcesEarlyBottomUp) {
+  const harness::GraphBundle b = harness::GraphBundle::make(11, 16, 17, 2);
+  harness::ExperimentOptions eo;
+  eo.nodes = 2;
+  eo.ppn = 4;
+  harness::Experiment e(b, eo);
+  bfs::Config eager;
+  eager.alpha = 1e9;  // switch to bottom-up at the first growth
+  bfs::Config never;
+  never.alpha = 1e-9;  // ratio test never fires: stays top-down
+  const auto re = e.run(eager, 2);
+  const auto rn = e.run(never, 2);
+  EXPECT_GT(re.per_root[0].bu_levels, 0);
+  EXPECT_EQ(rn.per_root[0].bu_levels, 0);
+  // Same trees regardless (correctness is threshold-independent).
+  EXPECT_EQ(re.per_root[0].visited, rn.per_root[0].visited);
+}
+
+TEST(HybridEdgeCases, ExtremeBetaNeverReturnsToTopDown) {
+  const harness::GraphBundle b = harness::GraphBundle::make(11, 16, 17, 2);
+  harness::ExperimentOptions eo;
+  eo.nodes = 1;
+  eo.ppn = 8;
+  harness::Experiment e(b, eo);
+  bfs::Config cfg;
+  cfg.beta = 1e-9;  // threshold n/beta is huge: bu -> td always fires
+  const auto r = e.run(cfg, 1);
+  // After any bottom-up level it must return to top-down right away.
+  const auto& dirs = r.per_root[0].directions;
+  for (size_t i = 1; i < dirs.size(); ++i)
+    EXPECT_FALSE(dirs[i - 1] == 1 && dirs[i] == 1)
+        << "two consecutive bu levels despite tiny beta";
+}
+
+TEST(HybridEdgeCases, SingleRankCluster) {
+  Rig rig(1 << 10, [] {
+        std::vector<graph::Edge> e;
+        for (graph::Vertex v = 1; v < 1 << 10; ++v)
+          e.push_back({static_cast<graph::Vertex>(v / 2), v});
+        return e;
+      }(), 1, 1);
+  const auto r = rig.run(bfs::Config{}, 0);
+  EXPECT_EQ(r.visited, 1u << 10);
+}
+
+TEST(HybridEdgeCases, StateReuseAcrossRootsIsClean) {
+  // Reusing one DistState across different roots must not leak state.
+  const harness::GraphBundle b = harness::GraphBundle::make(11, 16, 23, 4);
+  harness::ExperimentOptions eo;
+  eo.nodes = 2;
+  eo.ppn = 8;
+  harness::Experiment e(b, eo);
+  bfs::DistState st(e.dist(), bfs::par_allgather(), 2, 8);
+  std::vector<std::uint64_t> first_pass, second_pass;
+  for (graph::Vertex root : b.roots)
+    first_pass.push_back(bfs::run_bfs(e.cluster(), e.dist(), st, root).visited);
+  for (graph::Vertex root : b.roots)
+    second_pass.push_back(bfs::run_bfs(e.cluster(), e.dist(), st, root).visited);
+  EXPECT_EQ(first_pass, second_pass);
+}
+
+TEST(HybridEdgeCases, RootEqualsHighestVertex) {
+  // The padded tail must not confuse root handling at the partition edge.
+  Rig rig(100, {{99, 0}, {0, 50}}, 1, 4);
+  const auto r = rig.run(bfs::Config{}, 99);
+  EXPECT_EQ(r.visited, 3u);
+}
+
+}  // namespace
+}  // namespace numabfs

@@ -1,0 +1,161 @@
+// Direct unit tests of the per-level traversal kernels on tiny hand-built
+// graphs: exact discovered sets, exact counters, ownership filtering.
+
+#include <gtest/gtest.h>
+
+#include "bfs/kernels.hpp"
+#include "graph/csr.hpp"
+
+namespace numabfs::bfs {
+namespace {
+
+/// Single-rank harness around one kernel call.
+struct KernelRig {
+  graph::Csr csr;
+  graph::DistGraph dg;
+  rt::Cluster cluster;
+  DistState st;
+  UnitCosts u{};  // zero unit costs: data behavior only
+
+  KernelRig(std::uint64_t n, std::vector<graph::Edge> edges, int np = 1,
+            Config cfg = {})
+      : csr(graph::Csr::from_edges(n, edges)),
+        dg(graph::DistGraph::build(csr, graph::Partition1D(n, np))),
+        cluster(sim::Topology::single_socket(), sim::CostParams{}, 1),
+        st(dg, cfg, 1, 1) {
+    // Single-rank cluster regardless of np is fine only for np == 1.
+    EXPECT_EQ(np, 1);
+    u.omp_div = 1.0;
+  }
+
+  LevelResult run_td(rt::Proc& p, std::vector<graph::Vertex> frontier) {
+    st.frontier(0) = std::move(frontier);
+    return top_down_level(p, dg.locals[0], u, st);
+  }
+  LevelResult run_bu(rt::Proc& p) {
+    return bottom_up_level(p, dg.locals[0], u, st);
+  }
+};
+
+void spmd(KernelRig& rig, const std::function<void(rt::Proc&)>& fn) {
+  rig.cluster.run(fn);
+}
+
+TEST(TopDownKernel, DiscoversExactlyTheChildren) {
+  // Star: 0 - {1,2,3}; plus 4-5 elsewhere.
+  KernelRig rig(6, {{0, 1}, {0, 2}, {0, 3}, {4, 5}});
+  spmd(rig, [&](rt::Proc& p) {
+    // Seed: vertex 0 visited.
+    rig.st.visited(0).set(0);
+    rig.st.pred(0)[0] = 0;
+    const LevelResult r = rig.run_td(p, {0});
+    EXPECT_EQ(r.discovered, 3u);
+    const auto& d = rig.st.discovered(0);
+    EXPECT_EQ(d, (std::vector<graph::Vertex>{1, 2, 3}));
+    EXPECT_EQ(rig.st.pred(0)[1], 0u);
+    EXPECT_EQ(rig.st.pred(0)[2], 0u);
+    EXPECT_EQ(rig.st.pred(0)[3], 0u);
+    EXPECT_EQ(rig.st.pred(0)[4], graph::kNoVertex);
+    // Each child has degree 1, so 3 discovered edges.
+    EXPECT_EQ(r.discovered_edges, 3u);
+    // Counters: edges scanned = |adj(0)| = 3, all probes, 2 writes each.
+    EXPECT_EQ(p.prof.counters().edges_scanned, 3u);
+    EXPECT_EQ(p.prof.counters().queue_writes, 6u);
+  });
+}
+
+TEST(TopDownKernel, SkipsVisitedAndForeignFrontier) {
+  KernelRig rig(6, {{0, 1}, {0, 2}, {1, 2}});
+  spmd(rig, [&](rt::Proc& p) {
+    rig.st.visited(0).set(0);
+    rig.st.visited(0).set(1);  // 1 already visited
+    const LevelResult r = rig.run_td(p, {0, 5});  // 5 has no edges here
+    EXPECT_EQ(r.discovered, 1u);  // only 2
+    EXPECT_EQ(rig.st.discovered(0), (std::vector<graph::Vertex>{2}));
+  });
+}
+
+TEST(TopDownKernel, EmptyFrontierFindsNothing) {
+  KernelRig rig(4, {{0, 1}});
+  spmd(rig, [&](rt::Proc& p) {
+    const LevelResult r = rig.run_td(p, {});
+    EXPECT_EQ(r.discovered, 0u);
+    EXPECT_EQ(p.prof.counters().edges_scanned, 0u);
+  });
+}
+
+TEST(BottomUpKernel, AdoptsFirstFrontierParentAndStops) {
+  // 3 is adjacent to both 0 and 1 (both in frontier); bottom-up must adopt
+  // the first hit and stop scanning ("searching for a parent instead of
+  // fighting over children").
+  KernelRig rig(4, {{3, 0}, {3, 1}, {2, 0}});
+  spmd(rig, [&](rt::Proc& p) {
+    auto in_q = rig.st.in_queue(0);
+    auto in_s = rig.st.in_summary(0);
+    in_q.set(0);
+    in_q.set(1);
+    in_s.mark(0);
+    in_s.mark(1);
+    rig.st.visited(0).set(0);
+    rig.st.visited(0).set(1);
+    const LevelResult r = rig.run_bu(p);
+    EXPECT_EQ(r.discovered, 2u);  // 2 and 3
+    EXPECT_NE(rig.st.pred(0)[3], graph::kNoVertex);
+    EXPECT_EQ(rig.st.pred(0)[2], 0u);
+    // 3's adjacency is {0,1}: the hit on the first neighbor prevents the
+    // second in_queue probe.
+    EXPECT_EQ(p.prof.counters().frontier_hits, 2u);
+    // out bits were produced for the next exchange.
+    EXPECT_TRUE(rig.st.out_queue(0).get(2));
+    EXPECT_TRUE(rig.st.out_queue(0).get(3));
+    EXPECT_TRUE(rig.st.out_summary(0).covers(2));
+  });
+}
+
+TEST(BottomUpKernel, SummaryZeroSkipsAvoidInQueueProbes) {
+  // Frontier bit present in in_queue but its summary says zero elsewhere:
+  // vertices whose neighbors fall in zero blocks never probe in_queue.
+  KernelRig rig(200, {{100, 0}, {101, 64}});
+  spmd(rig, [&](rt::Proc& p) {
+    auto in_q = rig.st.in_queue(0);
+    auto in_s = rig.st.in_summary(0);
+    in_q.set(0);
+    in_s.mark(0);  // block [0,64) marked; block [64,128) NOT marked
+    rig.st.visited(0).set(0);
+    rig.st.visited(0).set(64);
+    in_q.set(64);  // in_queue bit set, but summary block stays 0
+    const LevelResult r = rig.run_bu(p);
+    // 100 adopts 0 (summary covered); 101 must *miss* 64: its only
+    // neighbor's summary block is zero, so the in_queue probe is skipped.
+    EXPECT_EQ(r.discovered, 1u);
+    EXPECT_EQ(rig.st.pred(0)[100], 0u);
+    EXPECT_EQ(rig.st.pred(0)[101], graph::kNoVertex);
+    EXPECT_GE(p.prof.counters().summary_zero_skips, 1u);
+  });
+}
+
+TEST(BottomUpKernel, RecordsDiscoveredForSparseHandoff) {
+  KernelRig rig(8, {{1, 0}, {2, 0}, {3, 1}});
+  spmd(rig, [&](rt::Proc& p) {
+    auto in_q = rig.st.in_queue(0);
+    auto in_s = rig.st.in_summary(0);
+    in_q.set(0);
+    in_s.mark(0);
+    rig.st.visited(0).set(0);
+    rig.run_bu(p);
+    EXPECT_EQ(rig.st.discovered(0), (std::vector<graph::Vertex>{1, 2}));
+  });
+}
+
+TEST(BottomUpKernel, NothingToDoWhenAllVisited) {
+  KernelRig rig(4, {{0, 1}, {1, 2}, {2, 3}});
+  spmd(rig, [&](rt::Proc& p) {
+    for (std::uint64_t v = 0; v < 4; ++v) rig.st.visited(0).set(v);
+    const LevelResult r = rig.run_bu(p);
+    EXPECT_EQ(r.discovered, 0u);
+    EXPECT_EQ(p.prof.counters().edges_scanned, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace numabfs::bfs

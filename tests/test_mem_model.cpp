@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "numasim/cache_model.hpp"
+#include "numasim/link_model.hpp"
+#include "numasim/mem_model.hpp"
+
+namespace numabfs::sim {
+namespace {
+
+Topology node8() { return Topology::xeon_x7550_cluster(1); }
+
+TEST(CacheModel, HitRatioShape) {
+  CostParams cp;
+  CacheModel cm(cp, 18ull << 20);
+  // Tiny structures always hit; huge ones almost never.
+  EXPECT_DOUBLE_EQ(cm.hit_ratio(1024, 1), 1.0);
+  EXPECT_LT(cm.hit_ratio(4ull << 30, 1), 0.01);
+  // Monotone decreasing in structure size.
+  double prev = 1.0;
+  for (std::uint64_t s = 1 << 20; s <= (1ull << 30); s *= 4) {
+    const double h = cm.hit_ratio(s, 1);
+    EXPECT_LE(h, prev);
+    prev = h;
+  }
+  // Sharing multiplies effective capacity (paper argument (b)).
+  EXPECT_GT(cm.hit_ratio(64ull << 20, 8), cm.hit_ratio(64ull << 20, 1));
+}
+
+TEST(CacheModel, CapacityScalingReproducesRatios) {
+  CostParams cp;
+  // A scale-20 structure under paper scaling must look like its scale-32
+  // counterpart: same hit ratio.
+  const CostParams scaled = cp.with_paper_cache_scaling(1ull << 20);
+  CacheModel raw(cp, 18ull << 20);
+  CacheModel sc(scaled, 18ull << 20);
+  const std::uint64_t small = (1ull << 20) / 8;  // scale-20 in_queue bytes
+  const std::uint64_t big = (1ull << 32) / 8;    // scale-32 in_queue bytes
+  EXPECT_NEAR(sc.hit_ratio(small, 1), raw.hit_ratio(big, 1), 1e-12);
+}
+
+TEST(CacheModel, PaperScalingShrinksAlphaProportionally) {
+  CostParams cp;
+  const CostParams scaled = cp.with_paper_cache_scaling(1ull << 22);
+  EXPECT_NEAR(scaled.nic_msg_latency_ns * scaled.capacity_scale,
+              cp.nic_msg_latency_ns, 1e-9);
+}
+
+TEST(MemModel, PlacementOrdering) {
+  CostParams cp;
+  MemModel mem(cp, node8());
+  const std::uint64_t big = 4ull << 30;  // all-miss regime
+  const double local = mem.probe_ns(Placement::socket_local, big, 1, true);
+  const double inter = mem.probe_ns(Placement::interleaved, big, 1, true);
+  const double home = mem.probe_ns(Placement::single_home, big, 1, true);
+  EXPECT_LT(local, inter);
+  EXPECT_LT(inter, home);
+}
+
+TEST(MemModel, CongestionOnlyHitsCrossSocketPlacements) {
+  CostParams cp;
+  MemModel mem(cp, node8());
+  const std::uint64_t big = 4ull << 30;
+  EXPECT_DOUBLE_EQ(mem.probe_ns(Placement::socket_local, big, 1, true),
+                   mem.probe_ns(Placement::socket_local, big, 1, false));
+  EXPECT_GT(mem.probe_ns(Placement::interleaved, big, 1, true),
+            mem.probe_ns(Placement::interleaved, big, 1, false));
+}
+
+TEST(MemModel, MemoryParallelismCutsProbeCost) {
+  CostParams slow;
+  slow.memory_parallelism = 1.0;
+  CostParams fast;
+  fast.memory_parallelism = 8.0;
+  MemModel a(slow, node8()), b(fast, node8());
+  const std::uint64_t big = 4ull << 30;
+  EXPECT_GT(a.probe_ns(Placement::socket_local, big, 1, false),
+            b.probe_ns(Placement::socket_local, big, 1, false));
+}
+
+TEST(MemModel, SharedSummaryCheaperThanPrivateWhenCachePressured) {
+  // The paper's argument for sharing: one shared copy enjoys k x cache.
+  CostParams cp;
+  MemModel mem(cp, node8());
+  // A structure a bit larger than one socket's usable share.
+  const auto size = static_cast<std::uint64_t>(
+      mem.cache().usable_llc() * 3.0);
+  const double priv = mem.probe_ns(Placement::socket_local, size, 1, true);
+  const double shared = mem.probe_ns(Placement::node_shared, size, 8, true);
+  EXPECT_LT(shared, priv);
+}
+
+TEST(MemModel, RemoteCacheStillBelowLocalDram) {
+  // Paper argument (d): a remote-L3 hit beats going to local memory.
+  CostParams cp;
+  EXPECT_LT(cp.remote_cache_ns, cp.local_dram_ns);
+}
+
+TEST(MemModel, AvgRemoteDramBetweenOneAndTwoHops) {
+  CostParams cp;
+  MemModel mem(cp, node8());
+  EXPECT_GE(mem.avg_remote_dram_ns(), cp.remote_dram_ns);
+  EXPECT_LE(mem.avg_remote_dram_ns(), cp.remote_dram_2hop_ns);
+}
+
+TEST(MemModel, SingleSocketTopologyHasNoRemotePenalty) {
+  CostParams cp;
+  MemModel mem(cp, Topology::single_socket());
+  const std::uint64_t big = 4ull << 30;
+  EXPECT_DOUBLE_EQ(mem.probe_ns(Placement::interleaved, big, 1, true),
+                   mem.probe_ns(Placement::socket_local, big, 1, true));
+}
+
+TEST(MemModel, OmpSpeedupShape) {
+  CostParams cp;
+  MemModel mem(cp, node8());
+  EXPECT_DOUBLE_EQ(mem.omp_speedup(1), 1.0);
+  EXPECT_NEAR(mem.omp_speedup(8), 6.98, 0.05);  // the paper's Fig. 3 anchor
+  EXPECT_LT(mem.omp_speedup(8), 8.0);
+  for (int t = 1; t < 16; ++t)
+    EXPECT_LT(mem.omp_speedup(t), mem.omp_speedup(t + 1));
+}
+
+TEST(MemModel, StreamCostsOrdered) {
+  CostParams cp;
+  MemModel mem(cp, node8());
+  EXPECT_LE(mem.stream_ns_per_byte(Placement::socket_local),
+            mem.stream_ns_per_byte(Placement::interleaved));
+  EXPECT_LT(mem.stream_ns_per_byte(Placement::interleaved),
+            mem.stream_ns_per_byte(Placement::single_home));
+}
+
+TEST(LinkModel, WeakNodeOnlyAffectsItself) {
+  CostParams cp;
+  const Topology t = Topology::xeon_x7550_cluster(4).with_weak_node(2, 0.5);
+  LinkModel link(cp, t);
+  const double ok = link.nic_transfer_ns(1 << 20, 1, 0, 1);
+  const double weak = link.nic_transfer_ns(1 << 20, 1, 0, 2);
+  EXPECT_GT(weak, ok);
+  EXPECT_DOUBLE_EQ(link.nic_transfer_ns(1 << 20, 1, 1, 3), ok);
+}
+
+TEST(LinkModel, PerFlowBandwidthCappedByPort) {
+  CostParams cp;
+  LinkModel link(cp, Topology::xeon_x7550_cluster(2));
+  EXPECT_LE(link.nic_flow_bw(1), cp.nic_port_bw);
+  // Aggregate grows, per-flow shrinks.
+  EXPECT_GT(link.nic_node_bw(4), link.nic_node_bw(2));
+  EXPECT_LT(link.nic_flow_bw(4), link.nic_flow_bw(2));
+}
+
+TEST(LinkModel, ShmFlowSharing) {
+  CostParams cp;
+  LinkModel link(cp, Topology::xeon_x7550_cluster(1));
+  EXPECT_DOUBLE_EQ(link.shm_flow_bw(1), cp.shm_copy_bw);
+  EXPECT_LE(link.shm_flow_bw(8), cp.socket_mem_ceiling / 8.0);
+}
+
+}  // namespace
+}  // namespace numabfs::sim

@@ -1,0 +1,163 @@
+// Cross-cutting property tests: monotonicity and linearity of the cost
+// model, and invariance properties the reproduction methodology relies on
+// (DESIGN.md §5, docs/MODEL.md).
+
+#include <gtest/gtest.h>
+
+#include "harness/graph500.hpp"
+#include "runtime/coll_model.hpp"
+
+namespace numabfs {
+namespace {
+
+namespace cm = rt::coll_model;
+
+TEST(ModelProperties, FlatRingMonotoneInChunk) {
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(4), sim::CostParams{}, 8);
+  double prev = 0;
+  for (std::uint64_t chunk = 1 << 10; chunk <= (8u << 20); chunk *= 8) {
+    const double t = cm::flat_ring(c, chunk).total_ns;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ModelProperties, LeaderAllgatherMonotoneInFlows) {
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(8), sim::CostParams{}, 8);
+  double prev = 1e300;
+  for (int flows : {1, 2, 4, 8}) {
+    const double t =
+        cm::leader_allgather(c, 1 << 20, false, false, flows).total_ns;
+    EXPECT_LE(t, prev) << flows;
+    prev = t;
+  }
+}
+
+TEST(ModelProperties, StepsAreAdditive) {
+  // leader_allgather totals decompose exactly into their selected steps.
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(8), sim::CostParams{}, 8);
+  const std::uint64_t chunk = 1 << 18;
+  const auto full = cm::leader_allgather(c, chunk, true, true, 1);
+  EXPECT_DOUBLE_EQ(full.total_ns,
+                   full.gather_ns + full.inter_ns + full.bcast_ns);
+  const auto no_gather = cm::leader_allgather(c, chunk, false, true, 1);
+  EXPECT_DOUBLE_EQ(no_gather.total_ns, full.total_ns - full.gather_ns);
+}
+
+TEST(ModelProperties, ProbeCostMonotoneInStructureSize) {
+  sim::MemModel mem(sim::CostParams{}, sim::Topology::xeon_x7550_cluster(1));
+  double prev = 0;
+  for (std::uint64_t s = 1 << 16; s <= (4ull << 30); s *= 16) {
+    const double p = mem.probe_ns(sim::Placement::socket_local, s, 1, false);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+class MlpSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MlpSweep, MoreOverlapNeverSlower) {
+  sim::CostParams a;
+  a.memory_parallelism = GetParam();
+  sim::CostParams b = a;
+  b.memory_parallelism = GetParam() * 2;
+  sim::MemModel ma(a, sim::Topology::xeon_x7550_cluster(1));
+  sim::MemModel mb(b, sim::Topology::xeon_x7550_cluster(1));
+  for (auto p : {sim::Placement::socket_local, sim::Placement::interleaved,
+                 sim::Placement::single_home})
+    EXPECT_GE(ma.probe_ns(p, 1ull << 30, 1, true),
+              mb.probe_ns(p, 1ull << 30, 1, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlap, MlpSweep,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0));
+
+TEST(ModelProperties, VirtualTimeIsLinearInUnitCosts) {
+  // Scaling every latency x2 and every bandwidth x0.5 must scale a BFS's
+  // virtual time by exactly 2 — the model composes charges linearly.
+  const harness::GraphBundle b = harness::GraphBundle::make(11, 16, 5, 2);
+  harness::ExperimentOptions eo;
+  eo.nodes = 2;
+  eo.ppn = 4;
+
+  harness::ExperimentOptions eo2 = eo;
+  sim::CostParams& p = eo2.params;
+  for (double* lat : {&p.llc_hit_ns, &p.remote_cache_ns, &p.local_dram_ns,
+                      &p.remote_dram_ns, &p.remote_dram_2hop_ns,
+                      &p.nic_msg_latency_ns, &p.edge_work_ns,
+                      &p.probe_work_ns, &p.stream_word_ns})
+    *lat *= 2.0;
+  for (double* bw : {&p.local_bw, &p.qpi_bw, &p.shm_copy_bw,
+                     &p.socket_mem_ceiling, &p.node_copy_ceiling,
+                     &p.nic_port_bw})
+    *bw *= 0.5;
+
+  harness::Experiment e1(b, eo);
+  harness::Experiment e2(b, eo2);
+  const auto r1 = e1.run(bfs::par_allgather(), 2);
+  const auto r2 = e2.run(bfs::par_allgather(), 2);
+  EXPECT_NEAR(r2.mean_time_ns / r1.mean_time_ns, 2.0, 1e-9);
+  EXPECT_NEAR(r1.harmonic_teps / r2.harmonic_teps, 2.0, 1e-9);
+}
+
+TEST(ModelProperties, SpeedupRatiosScaleInvariant) {
+  // The methodology's core claim: with paper-faithful scaling, the ratio
+  // between variants is (approximately) independent of the graph scale.
+  const auto ratio_at = [](int scale) {
+    const harness::GraphBundle b = harness::GraphBundle::make(scale, 16, 11, 2);
+    harness::ExperimentOptions eo;
+    eo.nodes = 4;
+    eo.ppn = 8;
+    harness::Experiment e(b, eo);
+    const double orig = e.run(bfs::original(), 2).harmonic_teps;
+    const double opt = e.run(bfs::par_allgather(), 2).harmonic_teps;
+    return opt / orig;
+  };
+  const double r12 = ratio_at(12);
+  const double r14 = ratio_at(14);
+  // Graph structure itself varies with scale (frontier shapes), so allow a
+  // generous band — but the ratios must not drift systematically.
+  EXPECT_NEAR(r14 / r12, 1.0, 0.30);
+}
+
+TEST(ModelProperties, WeakScalingCommGrowsComputeDoesNot) {
+  // The paper's Section IV.C observation, as a property: under weak
+  // scaling, per-rank computation stays roughly flat while the per-phase
+  // communication grows with the node count.
+  const auto measure = [](int nodes, int scale) {
+    const harness::GraphBundle b =
+        harness::GraphBundle::make(scale, 16, 13, 2);
+    harness::ExperimentOptions eo;
+    eo.nodes = nodes;
+    eo.ppn = 8;
+    harness::Experiment e(b, eo);
+    const auto r = e.run(bfs::original(), 2);
+    return std::pair{r.profile.get(sim::Phase::bu_comp),
+                     r.avg_bu_comm_phase_ns};
+  };
+  const auto [comp2, comm2] = measure(2, 12);
+  const auto [comp8, comm8] = measure(8, 14);
+  EXPECT_GT(comm8, 1.5 * comm2);             // communication grows
+  EXPECT_LT(std::abs(comp8 - comp2), comp2);  // computation roughly flat
+}
+
+TEST(ModelProperties, CountersAreScaleFree) {
+  // Zero-skip rate is a graph property, not a model property: it must be
+  // identical across cost-parameter changes.
+  const harness::GraphBundle b = harness::GraphBundle::make(12, 16, 5, 2);
+  harness::ExperimentOptions a;
+  a.nodes = 2;
+  a.ppn = 8;
+  harness::ExperimentOptions slow = a;
+  slow.params.local_dram_ns *= 3.0;
+  harness::Experiment e1(b, a), e2(b, slow);
+  const auto r1 = e1.run(bfs::granularity(256), 2);
+  const auto r2 = e2.run(bfs::granularity(256), 2);
+  EXPECT_EQ(r1.profile.counters().summary_zero_skips,
+            r2.profile.counters().summary_zero_skips);
+  EXPECT_EQ(r1.profile.counters().edges_scanned,
+            r2.profile.counters().edges_scanned);
+}
+
+}  // namespace
+}  // namespace numabfs

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/allgather.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/p2p.hpp"
+#include "runtime/shared_space.hpp"
+
+namespace numabfs::rt {
+namespace {
+
+sim::Topology topo(int nodes) { return sim::Topology::xeon_x7550_cluster(nodes); }
+
+TEST(Cluster, RankMapping) {
+  Cluster c(topo(4), sim::CostParams{}, 8);
+  EXPECT_EQ(c.nranks(), 32);
+  EXPECT_EQ(c.sockets_per_rank(), 1);
+  EXPECT_EQ(c.node_of(0), 0);
+  EXPECT_EQ(c.node_of(7), 0);
+  EXPECT_EQ(c.node_of(8), 1);
+  EXPECT_EQ(c.local_of(9), 1);
+  EXPECT_EQ(c.world().size(), 32);
+  EXPECT_EQ(c.node_comm(1).size(), 8);
+  EXPECT_EQ(c.leaders().size(), 4);
+  EXPECT_EQ(c.subgroup(3).size(), 4);
+  EXPECT_EQ(c.subgroup(3).world_rank(2), 2 * 8 + 3);
+}
+
+TEST(Cluster, Ppn1SpansWholeNode) {
+  Cluster c(topo(2), sim::CostParams{}, 1);
+  EXPECT_EQ(c.nranks(), 2);
+  EXPECT_EQ(c.sockets_per_rank(), 8);
+  std::atomic<int> wrong{0};
+  c.run([&](Proc& p) {
+    if (p.threads != 64) wrong.fetch_add(1);
+  });
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(Cluster, RejectsBadPpn) {
+  EXPECT_THROW(Cluster(topo(1), sim::CostParams{}, 3), std::invalid_argument);
+  EXPECT_THROW(Cluster(topo(1), sim::CostParams{}, 0), std::invalid_argument);
+}
+
+TEST(Cluster, RunExecutesEveryRankOnce) {
+  Cluster c(topo(2), sim::CostParams{}, 8);
+  std::vector<std::atomic<int>> hits(16);
+  c.run([&](Proc& p) { hits[static_cast<size_t>(p.rank)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Barrier, AlignsClocksToMax) {
+  Cluster c(topo(2), sim::CostParams{}, 8);
+  std::vector<double> end_times(16);
+  c.run([&](Proc& p) {
+    // Every rank works a different amount, then barriers.
+    p.charge(sim::Phase::other, 100.0 * (p.rank + 1));
+    p.barrier(c.world(), sim::Phase::stall);
+    end_times[static_cast<size_t>(p.rank)] = p.clock.now_ns();
+  });
+  for (double t : end_times) EXPECT_DOUBLE_EQ(t, 1600.0);
+  // The slowest rank stalls zero; rank 0 stalls the most.
+  EXPECT_DOUBLE_EQ(c.profiles()[0].get(sim::Phase::stall), 1500.0);
+  EXPECT_DOUBLE_EQ(c.profiles()[15].get(sim::Phase::stall), 0.0);
+}
+
+TEST(Barrier, ProfileTotalsMatchClock) {
+  Cluster c(topo(2), sim::CostParams{}, 4);
+  c.run([&](Proc& p) {
+    p.charge(sim::Phase::td_comp, 50.0 * (p.rank % 3 + 1));
+    p.barrier(c.world(), sim::Phase::stall);
+    p.charge(sim::Phase::bu_comp, 10.0);
+    p.barrier(c.world(), sim::Phase::stall);
+    EXPECT_NEAR(p.prof.total_ns(), p.clock.now_ns(), 1e-9);
+  });
+}
+
+TEST(Allreduce, SumAndMax) {
+  Cluster c(topo(2), sim::CostParams{}, 8);
+  c.run([&](Proc& p) {
+    const std::uint64_t s = allreduce_sum(
+        p, c.world(), static_cast<std::uint64_t>(p.rank), sim::Phase::other);
+    EXPECT_EQ(s, 120u);  // 0+..+15
+    const std::uint64_t m = allreduce_max(
+        p, c.world(), static_cast<std::uint64_t>(p.rank * 3), sim::Phase::other);
+    EXPECT_EQ(m, 45u);
+  });
+}
+
+TEST(Allreduce, SubCommunicators) {
+  Cluster c(topo(4), sim::CostParams{}, 8);
+  c.run([&](Proc& p) {
+    Comm& node = c.node_comm(p.node);
+    const std::uint64_t s =
+        allreduce_sum(p, node, 1, sim::Phase::other);
+    EXPECT_EQ(s, 8u);
+    Comm& sg = c.subgroup(p.local);
+    const std::uint64_t s2 = allreduce_sum(p, sg, 10, sim::Phase::other);
+    EXPECT_EQ(s2, 40u);
+  });
+}
+
+class AllgatherAlgos : public ::testing::TestWithParam<AllgatherAlgo> {};
+
+TEST_P(AllgatherAlgos, MovesDataCorrectly) {
+  const AllgatherAlgo algo = GetParam();
+  Cluster c(topo(4), sim::CostParams{}, 8);
+  const size_t words = 16;
+  std::vector<std::vector<std::uint64_t>> results(32);
+  c.run([&](Proc& p) {
+    std::vector<std::uint64_t> chunk(words);
+    for (size_t i = 0; i < words; ++i)
+      chunk[i] = static_cast<std::uint64_t>(p.rank) * 1000 + i;
+    std::vector<std::uint64_t> dst(words * 32, ~0ull);
+    allgather(p, c.world(), chunk, dst, algo, sim::Phase::bu_comm);
+    results[static_cast<size_t>(p.rank)] = std::move(dst);
+  });
+  for (int r = 0; r < 32; ++r)
+    for (int src = 0; src < 32; ++src)
+      for (size_t i = 0; i < words; ++i)
+        ASSERT_EQ(results[r][static_cast<size_t>(src) * words + i],
+                  static_cast<std::uint64_t>(src) * 1000 + i)
+            << "algo=" << to_string(algo) << " r=" << r << " src=" << src;
+}
+
+TEST_P(AllgatherAlgos, ChargesIdenticalTimeToAllRanks) {
+  const AllgatherAlgo algo = GetParam();
+  Cluster c(topo(2), sim::CostParams{}, 8);
+  c.run([&](Proc& p) {
+    std::vector<std::uint64_t> chunk(64, 1);
+    std::vector<std::uint64_t> dst(64 * 16);
+    allgather(p, c.world(), chunk, dst, algo, sim::Phase::bu_comm);
+  });
+  const double t0 = c.profiles()[0].get(sim::Phase::bu_comm);
+  EXPECT_GT(t0, 0.0);
+  for (const auto& pr : c.profiles())
+    EXPECT_DOUBLE_EQ(pr.get(sim::Phase::bu_comm), t0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, AllgatherAlgos,
+                         ::testing::Values(AllgatherAlgo::flat_ring,
+                                           AllgatherAlgo::leader_ring,
+                                           AllgatherAlgo::leader_rd));
+
+TEST(Allgather, WorksOverSubCommunicators) {
+  // Each subgroup (one member per node) allgathers independently — the
+  // structure underlying the paper's Fig. 7.
+  Cluster c(topo(4), sim::CostParams{}, 8);
+  std::vector<std::vector<std::uint64_t>> results(32);
+  c.run([&](Proc& p) {
+    Comm& sg = c.subgroup(p.local);
+    std::vector<std::uint64_t> chunk(4, static_cast<std::uint64_t>(p.rank));
+    std::vector<std::uint64_t> dst(4 * 4);
+    allgather(p, sg, chunk, dst, AllgatherAlgo::flat_ring,
+              sim::Phase::bu_comm);
+    results[static_cast<size_t>(p.rank)] = std::move(dst);
+  });
+  for (int r = 0; r < 32; ++r) {
+    const int local = r % 8;
+    for (int m = 0; m < 4; ++m)  // member m of the subgroup = node m
+      for (int i = 0; i < 4; ++i)
+        ASSERT_EQ(results[r][static_cast<size_t>(m) * 4 + i],
+                  static_cast<std::uint64_t>(m * 8 + local))
+            << "rank " << r;
+  }
+}
+
+TEST(Allgather, LeadersCommSpansNodes) {
+  Cluster c(topo(4), sim::CostParams{}, 8);
+  c.run([&](Proc& p) {
+    if (!p.is_node_leader()) return;  // only leaders participate
+    std::vector<std::uint64_t> chunk(2, static_cast<std::uint64_t>(p.node));
+    std::vector<std::uint64_t> dst(2 * 4);
+    allgather(p, c.leaders(), chunk, dst, AllgatherAlgo::flat_ring,
+              sim::Phase::bu_comm);
+    for (int m = 0; m < 4; ++m)
+      for (int i = 0; i < 2; ++i)
+        EXPECT_EQ(dst[static_cast<size_t>(m) * 2 + i],
+                  static_cast<std::uint64_t>(m));
+  });
+}
+
+TEST(Allgather, ByteCountersFollowEq1) {
+  // Paper Eq. (1): each rank receives chunk * (np - 1) bytes.
+  Cluster c(topo(2), sim::CostParams{}, 4);
+  c.run([&](Proc& p) {
+    std::vector<std::uint64_t> chunk(32, 7);
+    std::vector<std::uint64_t> dst(32 * 8);
+    allgather(p, c.world(), chunk, dst, AllgatherAlgo::flat_ring,
+              sim::Phase::bu_comm);
+    const auto& cnt = p.prof.counters();
+    EXPECT_EQ(cnt.bytes_intra_node + cnt.bytes_inter_node, 32u * 8 * 7);
+    EXPECT_EQ(cnt.bytes_intra_node, 32u * 8 * 3);  // 3 same-node peers
+    EXPECT_EQ(cnt.bytes_inter_node, 32u * 8 * 4);  // 4 remote peers
+  });
+}
+
+TEST(SharedSpace, SameBufferPerNodeKey) {
+  SharedSpace ss;
+  const auto a = ss.node_words(0, "q", 128);
+  const auto b = ss.node_words(0, "q", 128);
+  const auto other_node = ss.node_words(1, "q", 128);
+  const auto other_key = ss.node_words(0, "r", 64);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_NE(a.data(), other_node.data());
+  EXPECT_NE(a.data(), other_key.data());
+  EXPECT_THROW(ss.node_words(0, "q", 64), std::invalid_argument);
+  ss.clear();
+  EXPECT_NO_THROW(ss.node_words(0, "q", 64));
+}
+
+TEST(SharedSpace, ConcurrentGetOrCreate) {
+  SharedSpace ss;
+  Cluster c(topo(2), sim::CostParams{}, 8);
+  std::vector<std::uint64_t*> ptrs(16);
+  c.run([&](Proc& p) {
+    auto span = ss.node_words(p.node, "buf", 256);
+    ptrs[static_cast<size_t>(p.rank)] = span.data();
+  });
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(ptrs[r], ptrs[0]);
+  for (int r = 8; r < 16; ++r) EXPECT_EQ(ptrs[r], ptrs[8]);
+  EXPECT_NE(ptrs[0], ptrs[8]);
+}
+
+TEST(P2p, RoundTripAndArrivalTime) {
+  Cluster c(topo(2), sim::CostParams{}, 1);
+  PostOffice po(c.nranks());
+  c.run([&](Proc& p) {
+    if (p.rank == 0) {
+      std::vector<std::uint64_t> payload = {1, 2, 3};
+      po.send(p, 1, payload, sim::Phase::other);
+    } else {
+      const auto got = po.recv(p, 0, sim::Phase::other);
+      EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 2, 3}));
+      // Receiver cannot see the message before the modeled arrival.
+      EXPECT_GT(p.clock.now_ns(), 0.0);
+    }
+  });
+}
+
+TEST(P2p, SmallMessagesPayNicLatencyOnlyAcrossNodes) {
+  // For small payloads the NIC's per-message alpha dominates, so an
+  // intra-node copy is much cheaper than an inter-node send.
+  Cluster c(topo(2), sim::CostParams{}, 8);
+  double intra = 0, inter = 0;
+  c.run([&](Proc& p) {
+    std::vector<std::uint64_t> payload(8, 0);
+    if (p.rank == 0) {
+      PostOffice po(c.nranks());
+      po.send(p, 1, payload, sim::Phase::other);  // same node
+      intra = p.clock.now_ns();
+      const double before = p.clock.now_ns();
+      po.send(p, 8, payload, sim::Phase::other);  // other node
+      inter = p.clock.now_ns() - before;
+    }
+  });
+  EXPECT_GT(inter, intra);
+  EXPECT_GT(inter, c.params().nic_msg_latency_ns);
+}
+
+TEST(P2p, LargeIntraNodeCopiesPayCicoPenalty) {
+  // Large intra-node messages cross the CICO bounce buffer: their cost is
+  // cico_factor x bytes / copy bandwidth — the effect that makes the
+  // leader-based allgather's intra steps dominate in Fig. 6.
+  Cluster c(topo(2), sim::CostParams{}, 8);
+  c.run([&](Proc& p) {
+    if (p.rank != 0) return;
+    PostOffice po(c.nranks());
+    std::vector<std::uint64_t> payload(1 << 15, 0);
+    po.send(p, 1, payload, sim::Phase::other);
+    const double bytes = static_cast<double>(payload.size()) * 8;
+    const double expect =
+        c.params().cico_factor * bytes / c.link().shm_flow_bw(1);
+    EXPECT_NEAR(p.clock.now_ns(), expect, 1e-6);
+  });
+}
+
+}  // namespace
+}  // namespace numabfs::rt

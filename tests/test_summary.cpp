@@ -1,0 +1,89 @@
+#include "graph/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace numabfs::graph {
+namespace {
+
+TEST(Summary, SizeForGranularities) {
+  EXPECT_EQ(SummaryView::summary_bits_for(640, 64), 10u);
+  EXPECT_EQ(SummaryView::summary_bits_for(641, 64), 11u);
+  EXPECT_EQ(SummaryView::summary_bits_for(640, 1), 640u);
+  EXPECT_EQ(SummaryView::summary_bits_for(640, 4096), 1u);
+}
+
+TEST(Summary, MarkCoversBlock) {
+  Summary s(1024, 64);
+  auto v = s.view();
+  v.mark(130);  // block 2 covers [128, 192)
+  EXPECT_TRUE(v.covers(128));
+  EXPECT_TRUE(v.covers(191));
+  EXPECT_FALSE(v.covers(127));
+  EXPECT_FALSE(v.covers(192));
+}
+
+TEST(Summary, RebuildMatchesSource) {
+  std::mt19937_64 rng(11);
+  for (std::uint64_t g : {1ull, 2ull, 64ull, 100ull, 256ull}) {
+    Bitmap src_bm(5000);
+    auto src = src_bm.view();
+    for (int i = 0; i < 300; ++i) src.set(rng() % 5000);
+    Summary s(5000, g);
+    auto v = s.view();
+    v.rebuild_range(src, 0, 5000);
+    for (std::uint64_t b = 0; b < 5000; b += 13) {
+      const std::uint64_t lo = b / g * g;
+      const std::uint64_t hi = std::min<std::uint64_t>(5000, lo + g);
+      EXPECT_EQ(v.covers(b), src.count_range(lo, hi) != 0)
+          << "g=" << g << " bit=" << b;
+    }
+  }
+}
+
+TEST(Summary, RebuildClearsStaleBits) {
+  Bitmap src_bm(1024);
+  Summary s(1024, 64);
+  auto v = s.view();
+  v.mark(500);  // stale: source is empty there
+  v.rebuild_range(src_bm.view(), 0, 1024);
+  EXPECT_FALSE(v.covers(500));
+}
+
+TEST(Summary, ZeroFractionDecreasesWithGranularity) {
+  // The paper's Fig. 8 trade-off: larger granularity -> fewer zero bits.
+  std::mt19937_64 rng(5);
+  Bitmap src_bm(1 << 16);
+  auto src = src_bm.view();
+  for (int i = 0; i < 2000; ++i) src.set(rng() % (1 << 16));
+
+  double prev_fraction = 1.0;
+  for (std::uint64_t g : {64ull, 256ull, 1024ull, 4096ull}) {
+    Summary s(1 << 16, g);
+    auto v = s.view();
+    v.rebuild_range(src, 0, 1 << 16);
+    const std::uint64_t bits = v.size_bits();
+    const std::uint64_t ones = v.bits().count_range(0, bits);
+    const double zero_fraction =
+        static_cast<double>(bits - ones) / static_cast<double>(bits);
+    EXPECT_LE(zero_fraction, prev_fraction + 1e-12) << "g=" << g;
+    prev_fraction = zero_fraction;
+  }
+  EXPECT_LT(prev_fraction, 0.9);  // g=4096 has clearly fewer zeros
+}
+
+TEST(Summary, GranularityOneIsExact) {
+  Bitmap src_bm(256);
+  auto src = src_bm.view();
+  src.set(7);
+  src.set(200);
+  Summary s(256, 1);
+  auto v = s.view();
+  v.rebuild_range(src, 0, 256);
+  for (std::uint64_t b = 0; b < 256; ++b)
+    EXPECT_EQ(v.covers(b), src.get(b)) << b;
+}
+
+}  // namespace
+}  // namespace numabfs::graph

@@ -1,0 +1,82 @@
+#include "harness/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+namespace numabfs::harness {
+namespace {
+
+SvgChart sample() {
+  SvgChart c("Title & <tags>", "x-axis", "y-axis");
+  c.set_categories({"a", "b", "c"});
+  c.add_series("one", {1.0, 2.0, 3.0});
+  c.add_series("two", {3.0, 1.0, 2.0});
+  return c;
+}
+
+TEST(Svg, BarsContainExpectedElements) {
+  const std::string s = sample().render_bars();
+  EXPECT_NE(s.find("<svg"), std::string::npos);
+  EXPECT_NE(s.find("</svg>"), std::string::npos);
+  // 2 series x 3 categories = 6 bars + background + 2 legend swatches.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = s.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_EQ(rects, 1u + 6u + 2u);
+  // Category labels and legend names present.
+  for (const char* text : {">a<", ">b<", ">c<", ">one<", ">two<"})
+    EXPECT_NE(s.find(text), std::string::npos) << text;
+}
+
+TEST(Svg, LinesContainPolylinesAndMarkers) {
+  const std::string s = sample().render_lines();
+  std::size_t lines = 0, circles = 0, pos = 0;
+  while ((pos = s.find("<polyline", pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = s.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(circles, 6u);
+}
+
+TEST(Svg, EscapesMarkup) {
+  const std::string s = sample().render_bars();
+  EXPECT_NE(s.find("Title &amp; &lt;tags&gt;"), std::string::npos);
+  EXPECT_EQ(s.find("<tags>"), std::string::npos);
+}
+
+TEST(Svg, DeterministicOutput) {
+  EXPECT_EQ(sample().render_bars(), sample().render_bars());
+  EXPECT_EQ(sample().render_lines(), sample().render_lines());
+}
+
+TEST(Svg, HandlesMissingPointsAndEmptyChart) {
+  SvgChart c("t", "x", "y");
+  c.set_categories({"a", "b"});
+  c.add_series("s", {1.0, std::nan("")});
+  EXPECT_NE(c.render_lines().find("<polyline"), std::string::npos);
+  SvgChart empty("t", "x", "y");
+  EXPECT_NE(empty.render_bars().find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, WritesFiles) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "numabfs_chart.svg").string();
+  sample().write_bars(path);
+  EXPECT_GT(std::filesystem::file_size(path), 500u);
+  std::filesystem::remove(path);
+  EXPECT_THROW(sample().write_bars("/nonexistent-dir/x.svg"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace numabfs::harness

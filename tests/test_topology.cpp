@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "numasim/phase_profile.hpp"
+#include "numasim/topology.hpp"
+
+namespace numabfs::sim {
+namespace {
+
+TEST(Topology, TableIPreset) {
+  const Topology t = Topology::xeon_x7550_cluster(16);
+  EXPECT_EQ(t.nodes(), 16);
+  EXPECT_EQ(t.sockets_per_node(), 8);
+  EXPECT_EQ(t.cores_per_socket(), 8);
+  EXPECT_EQ(t.total_cores(), 1024);  // the paper's "thousand-core" platform
+  EXPECT_EQ(t.llc_bytes_per_socket(), 18ull << 20);
+  EXPECT_EQ(t.nic_ports_per_node(), 2);
+  EXPECT_EQ(t.dram_bytes_per_socket() * 8, 256ull << 30);  // 256 GB/node
+}
+
+TEST(Topology, QpiHopsProperties) {
+  const Topology t = Topology::xeon_x7550_cluster(1);
+  for (int a = 0; a < 8; ++a) {
+    EXPECT_EQ(t.qpi_hops(a, a), 0);
+    int links = 0;
+    for (int b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(t.qpi_hops(a, b), t.qpi_hops(b, a));  // symmetric
+      EXPECT_GE(t.qpi_hops(a, b), 1);
+      EXPECT_LE(t.qpi_hops(a, b), 2);  // cube + diagonal: diameter 2
+      links += t.qpi_hops(a, b) == 1;
+    }
+    EXPECT_EQ(links, 4);  // each X7550 has four QPI links (Table I)
+  }
+}
+
+TEST(Topology, SmallMeshesFullyConnected) {
+  Topology::Params p;
+  p.sockets_per_node = 4;
+  const Topology t(p);
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      EXPECT_EQ(t.qpi_hops(a, b), a == b ? 0 : 1);
+}
+
+TEST(Topology, WeakNode) {
+  const Topology t = Topology::xeon_x7550_cluster(16).with_weak_node(15, 0.5);
+  EXPECT_DOUBLE_EQ(t.nic_factor(15), 0.5);
+  EXPECT_DOUBLE_EQ(t.nic_factor(0), 1.0);
+  EXPECT_EQ(t.weak_node(), 15);
+}
+
+TEST(Topology, InvalidParamsThrow) {
+  Topology::Params p;
+  p.nodes = 0;
+  EXPECT_THROW(Topology{p}, std::invalid_argument);
+  p.nodes = 2;
+  p.weak_node = 2;  // out of range
+  EXPECT_THROW(Topology{p}, std::invalid_argument);
+  p.weak_node = -1;
+  p.nic_ports_per_node = 0;
+  EXPECT_THROW(Topology{p}, std::invalid_argument);
+}
+
+TEST(Topology, DescribeMentionsKeyFacts) {
+  const std::string d = Topology::xeon_x7550_cluster(16).describe();
+  EXPECT_NE(d.find("16 node"), std::string::npos);
+  EXPECT_NE(d.find("8 sockets"), std::string::npos);
+  EXPECT_NE(d.find("18 MB"), std::string::npos);
+  EXPECT_NE(d.find("1024 cores"), std::string::npos);
+}
+
+TEST(PhaseProfile, AccumulateAndTotal) {
+  PhaseProfile p;
+  p.add(Phase::td_comp, 10);
+  p.add(Phase::bu_comp, 30);
+  p.add(Phase::bu_comm, 5);
+  p.add(Phase::bu_comp, 30);
+  EXPECT_DOUBLE_EQ(p.get(Phase::bu_comp), 60);
+  EXPECT_DOUBLE_EQ(p.total_ns(), 75);
+  EXPECT_DOUBLE_EQ(p.comm_ns(), 5);
+}
+
+TEST(PhaseProfile, SumMaxScale) {
+  PhaseProfile a, b;
+  a.add(Phase::td_comp, 10);
+  b.add(Phase::td_comp, 30);
+  b.add(Phase::stall, 4);
+  a.counters().edges_scanned = 7;
+  b.counters().edges_scanned = 3;
+
+  PhaseProfile sum = a;
+  sum += b;
+  EXPECT_DOUBLE_EQ(sum.get(Phase::td_comp), 40);
+  EXPECT_EQ(sum.counters().edges_scanned, 10u);
+
+  PhaseProfile mx = a;
+  mx.max_with(b);
+  EXPECT_DOUBLE_EQ(mx.get(Phase::td_comp), 30);
+  EXPECT_DOUBLE_EQ(mx.get(Phase::stall), 4);
+
+  const PhaseProfile half = sum.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.get(Phase::td_comp), 20);
+}
+
+TEST(PhaseProfile, ClearResetsEverything) {
+  PhaseProfile p;
+  p.add(Phase::other, 5);
+  p.counters().queue_writes = 3;
+  p.clear();
+  EXPECT_DOUBLE_EQ(p.total_ns(), 0);
+  EXPECT_EQ(p.counters().queue_writes, 0u);
+}
+
+TEST(PhaseProfile, BreakdownStringMentionsActivePhases) {
+  PhaseProfile p;
+  p.add(Phase::bu_comp, 2e6);
+  p.add(Phase::bu_comm, 1e6);
+  const std::string s = p.breakdown();
+  EXPECT_NE(s.find("bu_comp"), std::string::npos);
+  EXPECT_NE(s.find("bu_comm"), std::string::npos);
+  EXPECT_EQ(s.find("td_comp"), std::string::npos);  // zero phases omitted
+}
+
+}  // namespace
+}  // namespace numabfs::sim

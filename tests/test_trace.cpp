@@ -1,0 +1,109 @@
+// Invariants of the per-level trace (the Fig. 1 anatomy data).
+
+#include <gtest/gtest.h>
+
+#include "bfs/hybrid.hpp"
+#include "harness/graph500.hpp"
+
+namespace numabfs {
+namespace {
+
+bfs::BfsRunResult traced_run(int nodes, int ppn, const bfs::Config& cfg) {
+  static const harness::GraphBundle b = harness::GraphBundle::make(12, 16, 3, 2);
+  harness::ExperimentOptions eo;
+  eo.nodes = nodes;
+  eo.ppn = ppn;
+  harness::Experiment e(b, eo);
+  bfs::DistState st(e.dist(), cfg, nodes, ppn);
+  return bfs::run_bfs(e.cluster(), e.dist(), st, b.roots[0]);
+}
+
+TEST(Trace, OneEntryPerLevel) {
+  const auto r = traced_run(2, 8, bfs::original());
+  ASSERT_EQ(r.trace.size(), static_cast<size_t>(r.levels));
+  for (int i = 0; i < r.levels; ++i) {
+    EXPECT_EQ(r.trace[static_cast<size_t>(i)].level, i);
+    EXPECT_EQ(r.trace[static_cast<size_t>(i)].direction, r.directions[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Trace, FrontiersChain) {
+  // Level L's input frontier is level L-1's discoveries; level 0 sees the
+  // root alone; total discoveries + root = visited.
+  const auto r = traced_run(2, 8, bfs::original());
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace[0].frontier_vertices, 1u);
+  std::uint64_t total = 1;
+  for (size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_EQ(r.trace[i].frontier_vertices, r.trace[i - 1].discovered);
+  for (const auto& lv : r.trace) total += lv.discovered;
+  EXPECT_EQ(total, r.visited);
+  EXPECT_EQ(r.trace.back().discovered, 0u);  // terminal level finds nothing
+}
+
+TEST(Trace, FrontierRampsUpThenDown) {
+  // The R-MAT frontier is unimodal at coarse grain: the max is not at the
+  // edges, and after the peak it only shrinks.
+  const auto r = traced_run(2, 8, bfs::original());
+  size_t peak = 0;
+  for (size_t i = 0; i < r.trace.size(); ++i)
+    if (r.trace[i].frontier_vertices > r.trace[peak].frontier_vertices)
+      peak = i;
+  EXPECT_GT(peak, 0u);
+  EXPECT_LT(peak, r.trace.size() - 1);
+  for (size_t i = peak + 1; i + 1 < r.trace.size(); ++i)
+    EXPECT_LE(r.trace[i + 1].frontier_vertices,
+              r.trace[i].frontier_vertices);
+}
+
+TEST(Trace, PhaseTimesMatchProfile) {
+  // Trace comp+comm per level sums to the profile's totals (mean-over-rank
+  // accounting on both sides).
+  const auto r = traced_run(2, 8, bfs::par_allgather());
+  double comp = 0, comm = 0;
+  for (const auto& lv : r.trace) {
+    comp += lv.comp_ns;
+    comm += lv.comm_ns;
+  }
+  const double prof_comp = r.profile_avg.get(sim::Phase::td_comp) +
+                           r.profile_avg.get(sim::Phase::bu_comp);
+  const double prof_comm = r.profile_avg.comm_ns();
+  EXPECT_NEAR(comp, prof_comp, prof_comp * 1e-9 + 1e-6);
+  EXPECT_NEAR(comm, prof_comm, prof_comm * 1e-9 + 1e-6);
+}
+
+TEST(Trace, SummaryProbesOnlyInBottomUpLevels) {
+  const auto r = traced_run(2, 8, bfs::original());
+  bool saw_bu_probes = false;
+  for (const auto& lv : r.trace) {
+    if (lv.direction == 0)
+      EXPECT_EQ(lv.summary_probes, 0u) << "level " << lv.level;
+    else
+      saw_bu_probes = saw_bu_probes || lv.summary_probes > 0;
+  }
+  EXPECT_TRUE(saw_bu_probes);
+}
+
+TEST(Trace, EdgeScansCoverTheComponentOnce) {
+  // Top-down + bottom-up edge scans together bound the component's
+  // directed edges from below (every traversed edge was scanned at least
+  // in the level that discovered its child).
+  const auto r = traced_run(2, 4, bfs::original());
+  std::uint64_t scans = 0;
+  for (const auto& lv : r.trace) scans += lv.edges_scanned;
+  EXPECT_GE(scans, r.visited - 1);  // at least one scan per tree edge
+}
+
+TEST(Trace, DeterministicAcrossRuns) {
+  const auto a = traced_run(2, 8, bfs::granularity(256));
+  const auto b = traced_run(2, 8, bfs::granularity(256));
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].edges_scanned, b.trace[i].edges_scanned);
+    EXPECT_DOUBLE_EQ(a.trace[i].comp_ns, b.trace[i].comp_ns);
+    EXPECT_DOUBLE_EQ(a.trace[i].comm_ns, b.trace[i].comm_ns);
+  }
+}
+
+}  // namespace
+}  // namespace numabfs
