@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   using namespace numabfs;
   namespace cm = rt::coll_model;
   harness::Options opt(argc, argv);
-  const int scale = opt.get_int("scale", 30);
+  const int scale = opt.get_int_min("scale", 30, 1);
 
   bench::print_header("Ablation (future work)",
                       "1-D vs 2-D partitioning: modeled comm per level",

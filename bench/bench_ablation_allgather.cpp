@@ -1,4 +1,4 @@
-/// Ablations of the communication design choices DESIGN.md §7 calls out,
+/// Ablations of the communication design choices DESIGN.md §8 calls out,
 /// on the calibrated model:
 ///  1. subgroup count for the parallel allgather (1/2/4/8 — the paper uses
 ///     ppn=8; fewer subgroups leave NIC bandwidth on the table);

@@ -11,7 +11,7 @@
 int main(int argc, char** argv) {
   using namespace numabfs;
   harness::Options opt(argc, argv);
-  const int scale = opt.get_int("scale", 18);
+  const int scale = opt.get_int_min("scale", 18, 1);
   const int nodes = opt.get_int("nodes", 8);
 
   bench::print_header("Fig. 1 (level anatomy)",

@@ -12,7 +12,7 @@
 int main(int argc, char** argv) {
   using namespace numabfs;
   harness::Options opt(argc, argv);
-  const int scale = opt.get_int("scale", 16);
+  const int scale = opt.get_int_min("scale", 16, 1);
   const int roots = opt.get_int("roots", 4);
 
   bench::print_header("Fig. 3", "NUMA effect on multi-core speedup",

@@ -13,10 +13,10 @@
 int main(int argc, char** argv) {
   using namespace numabfs;
   harness::Options opt(argc, argv);
-  const int scale = opt.get_int("scale", 20);
+  const int scale = opt.get_int_min("scale", 20, 1);
   const int roots = opt.get_int("roots", 8);
   const int nodes = opt.get_int("nodes", 16);
-  const std::uint64_t best_g = opt.get_u64("granularity", 256);
+  const std::uint64_t best_g = opt.get_u64_pow2("granularity", 256);
 
   bench::print_header("Fig. 9", "Overview of all optimizations",
                       std::to_string(nodes) + " nodes, scale " +

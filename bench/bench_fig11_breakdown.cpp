@@ -13,7 +13,7 @@
 int main(int argc, char** argv) {
   using namespace numabfs;
   harness::Options opt(argc, argv);
-  const int scale = opt.get_int("scale", 17);
+  const int scale = opt.get_int_min("scale", 17, 1);
   const int roots = opt.get_int("roots", 8);
 
   bench::print_header("Fig. 11", "Phase breakdown on one node",

@@ -14,9 +14,9 @@
 int main(int argc, char** argv) {
   using namespace numabfs;
   harness::Options opt(argc, argv);
-  const int base_scale = opt.get_int("base-scale", 15);
+  const int base_scale = opt.get_int_min("base-scale", 15, 1);
   const int roots = opt.get_int("roots", 4);
-  const double weak = opt.get_double("weak-factor", 0.5);
+  const double weak = opt.get_double_in("weak-factor", 0.5, 0.0, 1.0, true);
 
   bench::print_header(
       "Fig. 13", "Reduction of bottom-up communication-phase time",

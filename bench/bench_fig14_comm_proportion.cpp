@@ -13,7 +13,7 @@
 int main(int argc, char** argv) {
   using namespace numabfs;
   harness::Options opt(argc, argv);
-  const int base_scale = opt.get_int("base-scale", 15);
+  const int base_scale = opt.get_int_min("base-scale", 15, 1);
   const int roots = opt.get_int("roots", 4);
 
   bench::print_header(

@@ -15,7 +15,7 @@
 int main(int argc, char** argv) {
   using namespace numabfs;
   harness::Options opt(argc, argv);
-  const int base_scale = opt.get_int("base-scale", 15);
+  const int base_scale = opt.get_int_min("base-scale", 15, 1);
   const int roots = opt.get_int("roots", 4);
 
   bench::print_header(
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     eo.ppn = 8;
     if (nodes == 16) {
       eo.weak_node = 15;
-      eo.weak_node_factor = opt.get_double("weak-factor", 0.5);
+      eo.weak_node_factor = opt.get_double_in("weak-factor", 0.5, 0.0, 1.0, true);
     }
     harness::Experiment e(bundle, eo);
 

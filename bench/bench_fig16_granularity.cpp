@@ -13,7 +13,7 @@
 int main(int argc, char** argv) {
   using namespace numabfs;
   harness::Options opt(argc, argv);
-  const int scale = opt.get_int("scale", 20);
+  const int scale = opt.get_int_min("scale", 20, 1);
   const int roots = opt.get_int("roots", 8);
   const int nodes = opt.get_int("nodes", 16);
 

@@ -1,7 +1,7 @@
 /// Regenerates the Section II.A claim: on a 64-core node, the hybrid
 /// algorithm is 27.3x faster than pure top-down and 4.7x faster than pure
 /// bottom-up (Graph500 evaluation method). Also sweeps the switching
-/// thresholds alpha/beta (the ablation DESIGN.md §7 calls out).
+/// thresholds alpha/beta (the ablation DESIGN.md §8 calls out).
 
 #include <iostream>
 
@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   using namespace numabfs;
   harness::Options opt(argc, argv);
-  const int scale = opt.get_int("scale", 17);
+  const int scale = opt.get_int_min("scale", 17, 1);
   const int roots = opt.get_int("roots", 8);
 
   bench::print_header("Section II.A", "Hybrid vs pure top-down / bottom-up",

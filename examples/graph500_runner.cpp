@@ -43,7 +43,7 @@ int main(int argc, char** argv) try {
   using namespace numabfs;
   harness::Options opt(argc, argv);
 
-  const int scale = opt.get_int("scale", 18);
+  const int scale = opt.get_int_min("scale", 18, 1);
   const int roots = opt.get_int("roots", 16);
 
   bfs::Config cfg;
@@ -56,7 +56,7 @@ int main(int argc, char** argv) try {
                 : sharing == "in_queue" ? bfs::Sharing::in_queue
                                         : bfs::Sharing::none;
   cfg.parallel_allgather = opt.get_bool("par-allgather", false);
-  cfg.summary_granularity = opt.get_u64("granularity", 64);
+  cfg.summary_granularity = opt.get_u64_pow2("granularity", 64);
   if (opt.get_bool("leader-allgather", false))
     cfg.base_algo = rt::AllgatherAlgo::leader_ring;
   const std::string dir = opt.get_str("direction", "hybrid");
@@ -93,7 +93,7 @@ int main(int argc, char** argv) try {
   eo.nodes = opt.get_int("nodes", 4);
   eo.ppn = opt.get_int("ppn", 8);
   eo.weak_node = opt.get_int("weak-node", -1);
-  eo.weak_node_factor = opt.get_double("weak-factor", 0.5);
+  eo.weak_node_factor = opt.get_double_in("weak-factor", 0.5, 0.0, 1.0, true);
   harness::Experiment exp(bundle, eo);
 
   std::cout << "cluster: " << exp.cluster().topo().describe()

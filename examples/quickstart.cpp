@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
 
   // 1. One R-MAT graph (Graph500 parameters) + evaluation roots.
   const harness::GraphBundle bundle =
-      harness::GraphBundle::make(opt.get_int("scale", 16));
+      harness::GraphBundle::make(opt.get_int_min("scale", 16, 1));
 
   // 2. A simulated cluster: N eight-socket Xeon X7550 nodes, one MPI
   //    process per socket (the paper's recommended mapping).

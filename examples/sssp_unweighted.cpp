@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   harness::Options opt(argc, argv);
 
   const harness::GraphBundle bundle =
-      harness::GraphBundle::make(opt.get_int("scale", 15));
+      harness::GraphBundle::make(opt.get_int_min("scale", 15, 1));
   harness::ExperimentOptions eo;
   eo.nodes = opt.get_int("nodes", 2);
   eo.ppn = 8;

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   tp.llc_bytes_per_socket = opt.get_u64("llc-mb", 18) << 20;
   if (opt.has("weak-node")) {
     tp.weak_node = opt.get_int("weak-node", -1);
-    tp.weak_node_factor = opt.get_double("weak-factor", 0.5);
+    tp.weak_node_factor = opt.get_double_in("weak-factor", 0.5, 0.0, 1.0, true);
   }
   const sim::Topology topo(tp);
   const sim::CostParams cp;

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build and run the test suite under ASan+UBSan and TSan.
+#
+# The simulator runs one host thread per simulated rank and chaos mode adds
+# barrier retirement and cross-thread adoption hand-offs, so the sanitizers
+# are the fastest way to catch a protocol mistake. Usage:
+#
+#   scripts/run_sanitizers.sh            # both sanitizers, full suite
+#   scripts/run_sanitizers.sh asan       # just ASan+UBSan
+#   scripts/run_sanitizers.sh tsan -R fault   # TSan, fault tests only
+#
+# Extra arguments after the preset name are passed to ctest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=(asan tsan)
+if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
+  presets=("$1")
+  shift
+fi
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$(nproc)" "$@"
+done

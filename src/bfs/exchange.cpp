@@ -1,5 +1,6 @@
 #include "bfs/exchange.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "runtime/coll_model.hpp"
@@ -7,6 +8,41 @@
 namespace numabfs::bfs {
 
 namespace cm = rt::coll_model;
+
+namespace {
+
+/// Zero bits [lo, hi) of a word-addressed bitmap.
+void zero_bit_range(std::span<std::uint64_t> w, std::uint64_t lo,
+                    std::uint64_t hi) {
+  if (lo >= hi) return;
+  const std::uint64_t wlo = lo / 64, whi = (hi - 1) / 64;
+  if (wlo == whi) {
+    std::uint64_t mask = ~0ull << (lo & 63);
+    if ((hi & 63) != 0) mask &= (1ull << (hi & 63)) - 1;
+    w[wlo] &= ~mask;
+    return;
+  }
+  w[wlo] &= ~(~0ull << (lo & 63));
+  for (std::uint64_t i = wlo + 1; i < whi; ++i) w[i] = 0;
+  if ((hi & 63) != 0)
+    w[whi] &= ~((1ull << (hi & 63)) - 1);
+  else
+    w[whi] = 0;
+}
+
+/// Summary-bit range [sb, se) covering partition `part`'s vertex block.
+std::pair<std::uint64_t, std::uint64_t> summary_range(const DistState& st,
+                                                      std::uint64_t block_bits,
+                                                      int part) {
+  const std::uint64_t g = st.config().summary_granularity;
+  const std::uint64_t sb = static_cast<std::uint64_t>(part) * block_bits / g;
+  const std::uint64_t se = std::min(
+      st.summary_bits(),
+      (static_cast<std::uint64_t>(part + 1) * block_bits + g - 1) / g);
+  return {sb, se};
+}
+
+}  // namespace
 
 void clear_out_bits(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
                     const UnitCosts& u, sim::Phase phase) {
@@ -33,10 +69,30 @@ void clear_out_bits(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
   }
 }
 
-void discovered_to_out_bits(rt::Proc& p, DistState& st, const UnitCosts& u) {
-  auto out_q = st.out_queue(p.rank);
-  auto out_s = st.out_summary(p.rank);
-  const auto& discovered = st.discovered(p.rank);
+void clear_out_bits_part(rt::Proc& p, const graph::DistGraph& dg,
+                         DistState& st, const UnitCosts& u, sim::Phase phase,
+                         int part) {
+  const std::uint64_t block_bits = dg.part.block();
+  const std::uint64_t block_words = block_bits / 64;
+  auto out_q = st.out_queue(part);
+  const std::uint64_t off = static_cast<std::uint64_t>(part) * block_words;
+  std::memset(out_q.words().data() + off, 0, block_words * 8);
+
+  // Unlike the healthy wipe (disjoint local slices of a node map), the dead
+  // owner's summary share has no other writer left, so the adopter clears
+  // exactly the partition's summary range.
+  auto out_s = st.out_summary(part);
+  const auto [sb, se] = summary_range(st, block_bits, part);
+  zero_bit_range(out_s.bits().words(), sb, se);
+  p.charge(phase, u.stream_pass_ns(block_words + (se - sb + 63) / 64));
+}
+
+void discovered_to_out_bits(rt::Proc& p, DistState& st, const UnitCosts& u,
+                            int part) {
+  if (part < 0) part = p.rank;
+  auto out_q = st.out_queue(part);
+  auto out_s = st.out_summary(part);
+  const auto& discovered = st.discovered(part);
   for (graph::Vertex v : discovered) {
     out_q.set(v);
     out_s.mark(v);
@@ -47,14 +103,24 @@ void discovered_to_out_bits(rt::Proc& p, DistState& st, const UnitCosts& u) {
 }
 
 void exchange_sparse(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
-                     const UnitCosts& u, sim::Phase phase, bool wipe_out) {
+                     const UnitCosts& u, sim::Phase phase, bool wipe_out,
+                     std::span<const int> parts) {
   rt::Cluster& c = *p.cluster;
+  const faults::FaultInjector* inj = c.injector();
   rt::Comm& world = c.world();
   const int np = c.nranks();
 
   const auto& mine = st.discovered(p.rank);
   world.publish_ptr(p.rank, mine.data());
   world.publish_val(p.rank, mine.size());
+  // Impersonate adopted partitions: publish their discovered lists into the
+  // dead owners' slots so the dense assembly loop below needs no holes.
+  for (int q : parts) {
+    if (q == p.rank) continue;
+    const auto& theirs = st.discovered(q);
+    world.publish_ptr(q, theirs.data());
+    world.publish_val(q, theirs.size());
+  }
   p.barrier(world, sim::Phase::stall);  // lists ready
 
   auto& frontier = st.frontier(p.rank);
@@ -75,22 +141,30 @@ void exchange_sparse(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
   p.prof.counters().bytes_inter_node += inter_bytes;
 
   const auto& cp = c.params();
+  double inter_bw = c.link().nic_flow_bw(1, cm::min_nic_factor(c));
+  if (inj != nullptr)
+    inter_bw *= inj->min_link_factor(p.clock.now_ns());
   const double t =
       static_cast<double>(np - 1) * cp.nic_msg_latency_ns +
-      static_cast<double>(inter_bytes) /
-          c.link().nic_flow_bw(1, cm::min_nic_factor(c)) +
+      static_cast<double>(inter_bytes) / inter_bw +
       static_cast<double>(intra_bytes) * cp.cico_factor /
           c.link().shm_flow_bw(1);
   p.charge(phase, t);
 
-  if (wipe_out) clear_out_bits(p, dg, st, u, sim::Phase::switch_conv);
+  if (wipe_out) {
+    clear_out_bits(p, dg, st, u, sim::Phase::switch_conv);
+    for (int q : parts)
+      if (q != p.rank)
+        clear_out_bits_part(p, dg, st, u, sim::Phase::switch_conv, q);
+  }
   p.barrier(world, phase);
 }
 
 ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
                                 DistState& st, const UnitCosts& u,
-                                sim::Phase phase) {
+                                sim::Phase phase, std::span<const int> parts) {
   rt::Cluster& c = *p.cluster;
+  const faults::FaultInjector* inj = c.injector();
   rt::Comm& world = c.world();
   rt::Comm& node = c.node_comm(p.node);
   const Config& cfg = st.config();
@@ -103,6 +177,13 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   const std::uint64_t summary_bits = st.summary_bits();
   const std::uint64_t qchunk_bytes = block_words * 8;
   const std::uint64_t schunk_bytes = std::max<std::uint64_t>(1, block_bits / (8 * g));
+
+  // Degraded mode: with dead ranks, subgroup rings are broken (a color may
+  // be missing on some node) and the wired-in leader may be gone. Fall back
+  // to the leader plan with the lowest live local rank acting as leader.
+  const bool degraded = inj != nullptr && inj->any_dead();
+  const bool acts_leader =
+      degraded ? p.local == inj->lowest_live_local(p.node) : p.is_node_leader();
 
   // --- data-plumbing helpers (real movement; time is modeled below) -----
   const auto copy_queue_chunk = [&](graph::BitmapView dst, int src_rank) {
@@ -158,16 +239,17 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
     // node-shared in_queue; the broadcast step is gone (Fig. 5b).
     qt = cm::leader_allgather(c, qchunk_bytes, true, false, 1);
     ss = cm::leader_allgather(c, schunk_bytes, true, false, 1);
-    if (p.is_node_leader()) {
+    if (acts_leader) {
       for (int r = 0; r < np; ++r) copy_queue_chunk(in_q, r);
       memset_summary(in_s);
       for (int r = 0; r < np; ++r) copy_summary_range(in_s, r, false);
     }
-  } else if (!cfg.parallel_allgather) {
+  } else if (!cfg.parallel_allgather || degraded) {
     // "+ Share all": out slabs are shared too; the gather step is gone.
+    // (Also the degraded fallback for the parallel plan below.)
     qt = cm::leader_allgather(c, qchunk_bytes, false, false, 1);
     ss = cm::leader_allgather(c, schunk_bytes, false, false, 1);
-    if (p.is_node_leader()) {
+    if (acts_leader) {
       for (int r = 0; r < np; ++r) copy_queue_chunk(in_q, r);
       memset_summary(in_s);
       for (int r = 0; r < np; ++r) copy_summary_range(in_s, r, false);
@@ -186,10 +268,20 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
     }
   }
 
-  p.charge(phase, qt.total_ns + ss.total_ns);
+  double total_ns = qt.total_ns + ss.total_ns;
+  if (inj != nullptr) {
+    // Degraded fabric stretches the inter-node stages of both allgathers.
+    const double lf = inj->min_link_factor(p.clock.now_ns());
+    total_ns += (qt.inter_ns + ss.inter_ns) * (1.0 / lf - 1.0);
+    qt.inter_ns /= lf;
+    ss.inter_ns /= lf;
+  }
+  p.charge(phase, total_ns);
   p.barrier(world, phase);  // the collective completes together
 
   clear_out_bits(p, dg, st, u, phase);
+  for (int q : parts)
+    if (q != p.rank) clear_out_bits_part(p, dg, st, u, phase, q);
   p.barrier(world, sim::Phase::stall);  // wipes land before the next level
 
   ExchangeTimes ex;
@@ -197,7 +289,7 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   ex.inter_ns = qt.inter_ns + ss.inter_ns;
   ex.bcast_ns = qt.bcast_ns + ss.bcast_ns;
   ex.intra_overlapped_ns = qt.intra_overlapped_ns + ss.intra_overlapped_ns;
-  ex.total_ns = qt.total_ns + ss.total_ns;
+  ex.total_ns = total_ns;  // includes any link-degradation stretch
   return ex;
 }
 

@@ -4,6 +4,17 @@
 /// frontier (`in_queue`) and its summary on every rank/node from the
 /// per-rank `out_queue` chunks, under the variant's sharing level and
 /// allgather plan. Also resets the out structures for the next level.
+///
+/// Fault tolerance: each exchange takes an optional `parts` list — the
+/// partitions the calling rank is responsible for (its own plus any it
+/// adopted from crashed ranks). The adopter publishes/wipes the adopted
+/// partitions' slots so the exchange protocol below is oblivious to
+/// crashes; the partition index space always stays dense. When ranks have
+/// died, the parallel-subgroup allgather degrades to the leader-based plan
+/// (subgroup rings need every color alive on every node) and node
+/// leadership falls to the lowest live local rank.
+
+#include <span>
 
 #include "bfs/costs.hpp"
 #include "bfs/state.hpp"
@@ -24,10 +35,12 @@ struct ExchangeTimes {
 /// Bitmap exchange (used when the *next* level is bottom-up): the two
 /// allgathers of Fig. 1 rebuild in_queue and in_queue_summary from the
 /// out_queue chunks, then wipe the out structures. SPMD: all ranks call.
-/// Charges the modeled duration to `phase`.
+/// Charges the modeled duration to `phase`. `parts` lists the caller's
+/// partitions (empty = own rank only).
 ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
                                 DistState& st, const UnitCosts& u,
-                                sim::Phase phase);
+                                sim::Phase phase,
+                                std::span<const int> parts = {});
 
 /// Sparse exchange (used when the next level is top-down): allgatherv of
 /// the per-rank discovered-vertex lists into every rank's replicated
@@ -35,18 +48,27 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
 /// negligible outside the bulge, which is why the paper's communication
 /// cost concentrates in the bottom-up phases. `wipe_out` additionally
 /// wipes the out bitmaps (set when the level that produced the frontier
-/// ran bottom-up, whose kernel marks them).
+/// ran bottom-up, whose kernel marks them). `parts` as above.
 void exchange_sparse(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
-                     const UnitCosts& u, sim::Phase phase, bool wipe_out);
+                     const UnitCosts& u, sim::Phase phase, bool wipe_out,
+                     std::span<const int> parts = {});
 
 /// Direction-switch conversion (td -> bu): materialize the out_queue /
 /// out_queue_summary bits from this level's discovered list, so the bitmap
 /// exchange can build the next in_queue. Charged to Phase::switch_conv.
-void discovered_to_out_bits(rt::Proc& p, DistState& st, const UnitCosts& u);
+/// `part` selects the partition (-1 = the caller's own).
+void discovered_to_out_bits(rt::Proc& p, DistState& st, const UnitCosts& u,
+                            int part = -1);
 
 /// Wipe this rank's out_queue chunk and out_summary share (used on the
 /// bu -> td path, where no bitmap exchange performs the wipe).
 void clear_out_bits(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
                     const UnitCosts& u, sim::Phase phase);
+
+/// Wipe partition `part`'s out_queue chunk and out_summary range on behalf
+/// of a crashed owner (fault recovery only; the caller adopted `part`).
+void clear_out_bits_part(rt::Proc& p, const graph::DistGraph& dg,
+                         DistState& st, const UnitCosts& u, sim::Phase phase,
+                         int part);
 
 }  // namespace numabfs::bfs

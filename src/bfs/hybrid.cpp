@@ -1,9 +1,11 @@
 #include "bfs/hybrid.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "bfs/exchange.hpp"
 #include "bfs/kernels.hpp"
+#include "faults/errors.hpp"
 #include "runtime/allgather.hpp"
 
 namespace numabfs::bfs {
@@ -71,6 +73,42 @@ void reset_state(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
   p.barrier(c.world(), sim::Phase::other);
 }
 
+/// Level-boundary checkpoint of one partition's mutable traversal state.
+/// (The frontier inputs need no checkpoint: a crash happens at a level
+/// start, after the exchange rebuilt them on every survivor.)
+struct PartCheckpoint {
+  std::vector<std::uint64_t> visited;
+  std::vector<graph::Vertex> pred;
+  std::uint64_t unvisited_edges = 0;
+};
+
+/// Words streamed by one checkpoint save/restore of partition `part`.
+std::uint64_t ckpt_words(DistState& st, int part) {
+  return st.visited(part).words().size() +
+         st.pred(part).size() * sizeof(graph::Vertex) / 8;
+}
+
+void save_checkpoint(rt::Proc& p, DistState& st, const UnitCosts& u, int part,
+                     PartCheckpoint& ck) {
+  auto vw = st.visited(part).words();
+  ck.visited.assign(vw.begin(), vw.end());
+  auto pr = st.pred(part);
+  ck.pred.assign(pr.begin(), pr.end());
+  ck.unvisited_edges = st.unvisited_edges(part);
+  p.charge(sim::Phase::other, u.stream_pass_ns(ckpt_words(st, part)));
+}
+
+void restore_checkpoint(rt::Proc& p, DistState& st, const UnitCosts& u,
+                        int part, const PartCheckpoint& ck) {
+  auto vw = st.visited(part).words();
+  std::memcpy(vw.data(), ck.visited.data(), ck.visited.size() * 8);
+  auto pr = st.pred(part);
+  std::memcpy(pr.data(), ck.pred.data(), ck.pred.size() * sizeof(graph::Vertex));
+  st.unvisited_edges(part) = ck.unvisited_edges;
+  st.discovered(part).clear();
+  p.charge(sim::Phase::other, u.stream_pass_ns(ckpt_words(st, part)));
+}
+
 }  // namespace
 
 BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
@@ -107,10 +145,28 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
   std::vector<std::vector<RankLevel>> rank_levels(
       static_cast<size_t>(c.nranks()));
 
+  // Fault tolerance: a scheduled crash without checkpointing cannot be
+  // survived — refuse it up front with a diagnosable error (the fault plan
+  // is known before the traversal starts).
+  faults::FaultInjector* inj = c.injector();
+  if (inj != nullptr && inj->has_crashes() && !inj->checkpointing())
+    throw faults::FaultError(
+        "run_bfs: the fault plan schedules rank crashes but checkpointing is "
+        "disabled (checkpoint:off); the traversal could not be recovered");
+  const bool ckpt_on = inj != nullptr && inj->checkpointing();
+  // Indexed by partition; ckpt[q] is written by q's current owner only, and
+  // crash detection is barrier-ordered, so adoption hand-off is race-free.
+  std::vector<PartCheckpoint> ckpt(
+      ckpt_on ? static_cast<size_t>(c.nranks()) : 0);
+  std::atomic<int> recoveries{0};
+
   c.run([&](rt::Proc& p) {
-    const auto& lg = dg.locals[static_cast<size_t>(p.rank)];
     const UnitCosts& u = costs[static_cast<size_t>(p.rank)];
     rt::Comm& world = c.world();
+    const auto& lg = dg.locals[static_cast<size_t>(p.rank)];
+    // The partitions this rank executes: its own, plus any adopted from
+    // crashed ranks. Recomputed whenever a death is detected.
+    std::vector<int> parts{p.rank};
 
     reset_state(p, dg, st, root, u);
 
@@ -135,7 +191,23 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
     }
 
     std::uint64_t prev_nf = 1;  // the root seeds level 0's frontier
+    int level = 0;
+    int handled_dead = 0;
     for (;;) {
+      // Level boundary: checkpoint every owned partition, *then* die if
+      // this rank's crash is scheduled here — the fail-stop model is "the
+      // boundary checkpoint completed, the crash hit afterwards", so the
+      // adopter always finds start-of-level state.
+      if (ckpt_on)
+        for (int q : parts)
+          save_checkpoint(p, st, costs[static_cast<size_t>(q)], q,
+                          ckpt[static_cast<size_t>(q)]);
+      if (inj != nullptr && inj->crash_level(p.rank) == level) {
+        inj->mark_dead(p.rank);
+        c.retire_rank(p);  // survivors' barriers stop expecting us
+        return;
+      }
+
       const auto& cnt0 = p.prof.counters();
       const std::uint64_t edges0 = cnt0.edges_scanned;
       const std::uint64_t skips0 = cnt0.summary_zero_skips;
@@ -144,17 +216,44 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
                            p.prof.get(sim::Phase::bu_comp);
       const double comm0 = p.prof.comm_ns();
 
-      const LevelResult lr = dir == 0 ? top_down_level(p, lg, u, st)
-                                      : bottom_up_level(p, lg, u, st);
+      LevelResult lr;
+      std::uint64_t my_rem = 0;
+      for (int q : parts) {
+        const auto& qlg = dg.locals[static_cast<size_t>(q)];
+        const UnitCosts& qu = costs[static_cast<size_t>(q)];
+        const LevelResult qr = dir == 0 ? top_down_level(p, qlg, qu, st, q)
+                                        : bottom_up_level(p, qlg, qu, st, q);
+        lr.discovered += qr.discovered;
+        lr.discovered_edges += qr.discovered_edges;
+        my_rem += st.unvisited_edges(q);
+      }
 
       const std::uint64_t nf =
           rt::allreduce_sum(p, world, lr.discovered, sim::Phase::stall);
       const std::uint64_t mf = rt::allreduce_sum(p, world, lr.discovered_edges,
                                                  sim::Phase::stall);
-      const std::uint64_t rem = rt::allreduce_sum(
-          p, world, st.unvisited_edges(p.rank), sim::Phase::stall);
+      const std::uint64_t rem =
+          rt::allreduce_sum(p, world, my_rem, sim::Phase::stall);
 
-      if (p.rank == 0) {
+      // Crash detection point. A rank dies at the start of a level, before
+      // contributing to this level's kernels or reductions; the barriers
+      // above give every survivor a consistent view of the death. Recover
+      // by adopting the dead partitions, rolling every owned partition
+      // back to the boundary checkpoint, and re-running the level.
+      if (inj != nullptr && inj->dead_count() > handled_dead) {
+        handled_dead = inj->dead_count();
+        parts = inj->parts_of(p.rank);
+        for (int q : parts)
+          restore_checkpoint(p, st, costs[static_cast<size_t>(q)], q,
+                             ckpt[static_cast<size_t>(q)]);
+        if (p.rank == inj->lowest_live())
+          recoveries.fetch_add(1, std::memory_order_relaxed);
+        p.barrier(world, sim::Phase::stall);  // rollback complete everywhere
+        continue;  // re-run the level (level/dir/prev_nf unchanged)
+      }
+
+      const int recorder = inj != nullptr ? inj->lowest_live() : 0;
+      if (p.rank == recorder) {
         shared.directions.push_back(dir);
         shared.visited += nf;
         shared.frontier_sizes.push_back(prev_nf);
@@ -200,17 +299,20 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
         // Next level searches bottom-up: it needs the in_queue bitmap. A
         // top-down level only produced a sparse list — materialize it
         // ("Switch" in Fig. 11), then run the two allgathers of Fig. 1.
-        if (dir == 0) discovered_to_out_bits(p, st, u);
-        exchange_frontier(p, dg, st, u, sim::Phase::bu_comm);
-        if (p.rank == 0) shared.bu_ex++;
+        if (dir == 0)
+          for (int q : parts) discovered_to_out_bits(p, st, u, q);
+        exchange_frontier(p, dg, st, u, sim::Phase::bu_comm, parts);
+        if (p.rank == recorder) shared.bu_ex++;
       } else {
         // Next level is top-down: the sparse list exchange suffices; when
         // leaving bottom-up, the stale out bitmaps are wiped on the way.
-        exchange_sparse(p, dg, st, u, sim::Phase::td_comm, /*wipe_out=*/dir == 1);
-        if (p.rank == 0) shared.td_ex++;
+        exchange_sparse(p, dg, st, u, sim::Phase::td_comm, /*wipe_out=*/dir == 1,
+                        parts);
+        if (p.rank == recorder) shared.td_ex++;
       }
       record_level();
       dir = next;
+      ++level;
     }
 
     p.barrier(world, sim::Phase::stall);
@@ -227,6 +329,8 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
   for (int d : shared.directions) (d == 0 ? out.td_levels : out.bu_levels)++;
   out.td_exchanges = shared.td_ex;
   out.bu_exchanges = shared.bu_ex;
+  out.recoveries = recoveries.load(std::memory_order_relaxed);
+  out.ranks_lost = inj != nullptr ? inj->dead_count() : 0;
 
   sim::PhaseProfile sum;
   sim::PhaseProfile mx;

@@ -52,6 +52,8 @@ struct BfsRunResult {
   int bu_levels = 0;
   int bu_exchanges = 0;  ///< bottom-up communication phases performed
   int td_exchanges = 0;
+  int recoveries = 0;  ///< level re-runs after detecting crashed ranks
+  int ranks_lost = 0;  ///< ranks dead by the end of the traversal
   std::vector<int> directions;  ///< 0 = top-down, 1 = bottom-up, per level
 
   sim::PhaseProfile profile_avg;  ///< mean over ranks
@@ -77,6 +79,16 @@ struct BfsRunResult {
 /// Run one BFS from `root`. `st` must have been built for (dg, cfg) and the
 /// cluster's shape; it is reset internally, so it can be reused across
 /// roots.
+///
+/// Fault tolerance: when the cluster carries a fault injector whose plan
+/// schedules rank crashes, level-boundary checkpoints (visited/pred/
+/// unvisited-edge counts per partition) are saved, and a crash is handled
+/// by the survivors: the dead rank's partition is adopted by the lowest
+/// live rank on its node (else the lowest live rank overall), checkpoints
+/// are rolled back, and the interrupted level is re-executed — the
+/// traversal completes and validates despite the loss. Scheduling a crash
+/// with checkpointing explicitly disabled (`checkpoint:off`) raises
+/// faults::FaultError up front: the run could not survive it.
 BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
                      graph::Vertex root);
 

@@ -5,13 +5,14 @@
 namespace numabfs::bfs {
 
 LevelResult top_down_level(rt::Proc& p, const graph::LocalGraph& lg,
-                           const UnitCosts& u, DistState& st) {
+                           const UnitCosts& u, DistState& st, int part) {
+  if (part < 0) part = p.rank;
   LevelResult res;
-  auto vis = st.visited(p.rank);
-  auto pred = st.pred(p.rank);
-  std::uint64_t& unvisited_edges = st.unvisited_edges(p.rank);
+  auto vis = st.visited(part);
+  auto pred = st.pred(part);
+  std::uint64_t& unvisited_edges = st.unvisited_edges(part);
   const std::vector<graph::Vertex>& frontier = st.frontier(p.rank);
-  std::vector<graph::Vertex>& discovered = st.discovered(p.rank);
+  std::vector<graph::Vertex>& discovered = st.discovered(part);
   discovered.clear();
 
   std::uint64_t edges = 0;
@@ -58,16 +59,17 @@ LevelResult top_down_level(rt::Proc& p, const graph::LocalGraph& lg,
 }
 
 LevelResult bottom_up_level(rt::Proc& p, const graph::LocalGraph& lg,
-                            const UnitCosts& u, DistState& st) {
+                            const UnitCosts& u, DistState& st, int part) {
+  if (part < 0) part = p.rank;
   LevelResult res;
   auto in_q = st.in_queue(p.rank);
   auto in_s = st.in_summary(p.rank);
-  auto out_q = st.out_queue(p.rank);
-  auto out_s = st.out_summary(p.rank);
-  auto vis = st.visited(p.rank);
-  auto pred = st.pred(p.rank);
-  std::uint64_t& unvisited_edges = st.unvisited_edges(p.rank);
-  std::vector<graph::Vertex>& discovered = st.discovered(p.rank);
+  auto out_q = st.out_queue(part);
+  auto out_s = st.out_summary(part);
+  auto vis = st.visited(part);
+  auto pred = st.pred(part);
+  std::uint64_t& unvisited_edges = st.unvisited_edges(part);
+  std::vector<graph::Vertex>& discovered = st.discovered(part);
   discovered.clear();
 
   std::uint64_t edges = 0;

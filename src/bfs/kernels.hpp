@@ -24,10 +24,16 @@ struct LevelResult {
   std::uint64_t discovered_edges = 0;  ///< sum of their degrees
 };
 
+/// `part` selects which rank's partition state (visited/pred/out queue/
+/// discovered) the kernel operates on; -1 means the caller's own. Passing a
+/// crashed rank's partition (with its LocalGraph as `lg`) is how an adopter
+/// executes adopted work during fault recovery — the frontier inputs
+/// (frontier list / in_queue / in_summary) are always read through the
+/// caller's own views, since they are replicated.
 LevelResult top_down_level(rt::Proc& p, const graph::LocalGraph& lg,
-                           const UnitCosts& u, DistState& st);
+                           const UnitCosts& u, DistState& st, int part = -1);
 
 LevelResult bottom_up_level(rt::Proc& p, const graph::LocalGraph& lg,
-                            const UnitCosts& u, DistState& st);
+                            const UnitCosts& u, DistState& st, int part = -1);
 
 }  // namespace numabfs::bfs

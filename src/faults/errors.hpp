@@ -1,0 +1,27 @@
+#pragma once
+/// \file errors.hpp
+/// Error types of the fault-tolerant runtime. They exist so that a fabric
+/// misbehaving under an injected fault plan surfaces as a *diagnosable*
+/// exception at the call site instead of a silent host-thread deadlock or
+/// a corrupted traversal.
+
+#include <stdexcept>
+#include <string>
+
+namespace numabfs::faults {
+
+/// A receive (or a reliable send) gave up waiting: the peer is marked dead
+/// or the virtual-time timeout elapsed without a deliverable message.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The fault plan made forward progress impossible (e.g. a message exceeded
+/// the retransmit budget, or a rank crashed with checkpointing disabled).
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace numabfs::faults

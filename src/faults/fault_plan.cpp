@@ -1,0 +1,209 @@
+#include "faults/fault_plan.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace numabfs::faults {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::link_degrade: return "degrade";
+    case FaultKind::msg_drop: return "drop";
+    case FaultKind::msg_corrupt: return "corrupt";
+    case FaultKind::straggler: return "straggle";
+    case FaultKind::rank_crash: return "crash";
+  }
+  return "?";
+}
+
+bool FaultEvent::active_at(double now_ns) const {
+  if (now_ns < from_ns || now_ns >= until_ns) return false;
+  if (period_ns <= 0.0) return true;
+  const double phase = std::fmod(now_ns - from_ns, period_ns);
+  return phase < duty * period_ns;
+}
+
+bool FaultPlan::has_crashes() const {
+  for (const FaultEvent& e : events)
+    if (e.kind == FaultKind::rank_crash) return true;
+  return false;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& token, const std::string& why) {
+  throw std::invalid_argument("FaultPlan: bad event '" + token + "': " + why);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double parse_num(const std::string& token, const std::string& key,
+                 const std::string& val) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(val, &pos);
+    if (pos != val.size())
+      parse_fail(token, key + "=" + val + " is not a number");
+    return d;
+  } catch (const std::invalid_argument&) {
+    parse_fail(token, key + "=" + val + " is not a number");
+  } catch (const std::out_of_range&) {
+    parse_fail(token, key + "=" + val + " is out of range");
+  }
+}
+
+int parse_int(const std::string& token, const std::string& key,
+              const std::string& val) {
+  const double d = parse_num(token, key, val);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d)
+    parse_fail(token, key + "=" + val + " must be an integer");
+  return i;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& token : split(spec, ',')) {
+    if (token.empty()) continue;
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos)
+      parse_fail(token, "expected 'kind:params' (e.g. crash:rank=3@level=4)");
+    const std::string kind = token.substr(0, colon);
+    const std::string rest = token.substr(colon + 1);
+
+    if (kind == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_num(token, "seed", rest));
+      continue;
+    }
+    if (kind == "checkpoint") {
+      if (rest == "on")
+        plan.checkpoint_forced_on = true;
+      else if (rest == "off")
+        plan.checkpoint_forced_off = true;
+      else
+        parse_fail(token, "checkpoint takes 'on' or 'off'");
+      continue;
+    }
+
+    FaultEvent e;
+    if (kind == "degrade" || kind == "flap")
+      e.kind = FaultKind::link_degrade;
+    else if (kind == "drop")
+      e.kind = FaultKind::msg_drop;
+    else if (kind == "corrupt")
+      e.kind = FaultKind::msg_corrupt;
+    else if (kind == "straggle")
+      e.kind = FaultKind::straggler;
+    else if (kind == "crash")
+      e.kind = FaultKind::rank_crash;
+    else
+      parse_fail(token, "unknown kind '" + kind +
+                            "' (want crash|drop|corrupt|straggle|degrade|flap)");
+
+    for (const std::string& kv : split(rest, '@')) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos)
+        parse_fail(token, "parameter '" + kv + "' is not key=value");
+      const std::string key = kv.substr(0, eq);
+      const std::string val = kv.substr(eq + 1);
+      if (key == "node")
+        e.node = parse_int(token, key, val);
+      else if (key == "rank")
+        e.rank = parse_int(token, key, val);
+      else if (key == "level")
+        e.level = parse_int(token, key, val);
+      else if (key == "factor")
+        e.factor = parse_num(token, key, val);
+      else if (key == "prob")
+        e.probability = parse_num(token, key, val);
+      else if (key == "from")
+        e.from_ns = parse_num(token, key, val);
+      else if (key == "until")
+        e.until_ns = parse_num(token, key, val);
+      else if (key == "period")
+        e.period_ns = parse_num(token, key, val);
+      else if (key == "duty")
+        e.duty = parse_num(token, key, val);
+      else
+        parse_fail(token, "unknown parameter '" + key + "'");
+    }
+
+    // Per-kind validation with actionable messages.
+    switch (e.kind) {
+      case FaultKind::link_degrade:
+        if (e.node < 0) parse_fail(token, "degrade/flap needs node=N");
+        if (!(e.factor > 0.0 && e.factor <= 1.0))
+          parse_fail(token, "degrade factor must be in (0,1]");
+        if (kind == "flap" && e.period_ns <= 0.0)
+          parse_fail(token, "flap needs period=NS > 0");
+        if (!(e.duty > 0.0 && e.duty <= 1.0))
+          parse_fail(token, "duty must be in (0,1]");
+        break;
+      case FaultKind::msg_drop:
+      case FaultKind::msg_corrupt:
+        if (!(e.probability >= 0.0 && e.probability <= 1.0))
+          parse_fail(token, "prob must be in [0,1]");
+        break;
+      case FaultKind::straggler:
+        if (e.rank < 0) parse_fail(token, "straggle needs rank=R");
+        if (e.factor < 1.0)
+          parse_fail(token, "straggle factor must be >= 1 (a slowdown)");
+        break;
+      case FaultKind::rank_crash:
+        if (e.rank < 0) parse_fail(token, "crash needs rank=R");
+        if (e.level < 0) parse_fail(token, "crash needs level=L >= 0");
+        break;
+    }
+    if (e.until_ns <= e.from_ns)
+      parse_fail(token, "until must be greater than from");
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (checkpointing()) os << " +chk";
+  for (const FaultEvent& e : events) {
+    os << ' ' << to_string(e.kind);
+    switch (e.kind) {
+      case FaultKind::rank_crash:
+        os << "(r" << e.rank << "@L" << e.level << ')';
+        break;
+      case FaultKind::straggler:
+        os << "(r" << e.rank << " x" << e.factor << ')';
+        break;
+      case FaultKind::link_degrade:
+        os << "(n" << e.node << " x" << e.factor;
+        if (e.period_ns > 0) os << " flap";
+        os << ')';
+        break;
+      case FaultKind::msg_drop:
+      case FaultKind::msg_corrupt:
+        os << "(p=" << e.probability;
+        if (e.rank >= 0) os << " r" << e.rank;
+        os << ')';
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace numabfs::faults

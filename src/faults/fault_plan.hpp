@@ -1,0 +1,80 @@
+#pragma once
+/// \file fault_plan.hpp
+/// A seeded, fully deterministic schedule of fault events for the simulated
+/// cluster ("chaos mode"). Events are expressed in virtual time and BFS
+/// levels, never in host time, so a plan plus a seed reproduces the exact
+/// same failure history on every run.
+///
+/// Text syntax (the `--faults=` option of the benches): events separated by
+/// commas, parameters of one event separated by `@`:
+///
+///   seed:42                                 RNG seed for all fault coins
+///   checkpoint:off                          disable level checkpointing
+///   crash:rank=3@level=4                    rank 3 dies entering level 4
+///   drop:prob=0.05                          NIC drops 5% of messages
+///   drop:prob=0.2@rank=1                    ...only messages sent by rank 1
+///   corrupt:prob=0.01                       payload corruption (checksummed)
+///   straggle:rank=2@factor=3                rank 2 computes 3x slower
+///   degrade:node=1@factor=0.25              node 1 NIC at 25% bandwidth
+///   degrade:node=1@factor=0.5@from=1e6@until=5e6   ...only in a time window
+///   flap:node=0@factor=0.1@period=2e6@duty=0.5     link flaps periodically
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace numabfs::faults {
+
+enum class FaultKind {
+  link_degrade,  ///< NIC bandwidth of `node` scaled by `factor` while active
+  msg_drop,      ///< messages from `rank` (-1: any) dropped with `probability`
+  msg_corrupt,   ///< payloads from `rank` (-1: any) corrupted with `probability`
+  straggler,     ///< rank's charged time multiplied by `factor` while active
+  rank_crash,    ///< rank dies on entering BFS level `level`
+};
+
+const char* to_string(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::msg_drop;
+  int node = -1;   ///< link_degrade: affected node
+  int rank = -1;   ///< drop/corrupt: sender (-1 = all); straggler/crash: rank
+  int level = -1;  ///< rank_crash: BFS level at which the rank dies
+  double factor = 1.0;      ///< degrade: (0,1]; straggler: >= 1
+  double probability = 0;   ///< drop/corrupt: per-attempt probability [0,1]
+  double from_ns = 0;       ///< window start (degrade/straggler/drop/corrupt)
+  double until_ns = std::numeric_limits<double>::infinity();  ///< window end
+  double period_ns = 0;     ///< > 0: flapping — active for `duty` of each period
+  double duty = 1.0;        ///< active fraction of a flap period (0,1]
+
+  /// Whether the event is active at virtual time `now_ns` (window + flap).
+  bool active_at(double now_ns) const;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Level checkpointing policy: defaults to on whenever the plan contains
+  /// a crash (recovery is impossible without it); `checkpoint:off` forces
+  /// it off, `checkpoint:on` forces it on even for crash-free plans (to
+  /// measure the pure checkpoint overhead).
+  bool checkpoint_forced_on = false;
+  bool checkpoint_forced_off = false;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty() && !checkpoint_forced_on; }
+  bool has_crashes() const;
+  bool checkpointing() const {
+    if (checkpoint_forced_off) return false;
+    return checkpoint_forced_on || has_crashes();
+  }
+
+  /// Parse the `--faults=` syntax documented above. Throws
+  /// std::invalid_argument with an actionable message on malformed input.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Human-readable one-line summary (bench table labels).
+  std::string describe() const;
+};
+
+}  // namespace numabfs::faults

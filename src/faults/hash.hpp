@@ -1,0 +1,47 @@
+#pragma once
+/// \file hash.hpp
+/// Deterministic hashing primitives for the fault layer: every fault
+/// decision (drop/corrupt coins, corruption masks) is a pure function of
+/// (plan seed, endpoints, sequence number, attempt), so two runs with the
+/// same seed make bit-identical decisions under any thread schedule.
+
+#include <cstdint>
+#include <span>
+
+namespace numabfs::faults {
+
+/// Fenwick/Steele splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Chain-mix an arbitrary number of words into one hash.
+constexpr std::uint64_t hash_mix(std::uint64_t h) { return splitmix64(h); }
+template <typename... Rest>
+constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t next,
+                                 Rest... rest) {
+  return hash_mix(splitmix64(h ^ next), rest...);
+}
+
+/// Map a hash to a uniform double in [0, 1).
+constexpr double hash_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// 64-bit FNV-1a over a word payload. Every per-word step is a bijection
+/// (xor, then multiply by an odd constant), so flipping any bit of any word
+/// is guaranteed to change the checksum — which is what lets the receivers
+/// detect injected payload corruption with certainty.
+constexpr std::uint64_t checksum64(std::span<const std::uint64_t> payload) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint64_t w : payload) {
+    h ^= w;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace numabfs::faults

@@ -1,0 +1,139 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "faults/hash.hpp"
+
+namespace numabfs::faults {
+
+namespace {
+// Domain-separation tags for the fault coins.
+constexpr std::uint64_t kTagDrop = 0xD509;
+constexpr std::uint64_t kTagCorrupt = 0xC099;
+constexpr std::uint64_t kTagMask = 0x3A5C;
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, int nranks, int ppn)
+    : plan_(std::move(plan)),
+      nranks_(nranks),
+      ppn_(ppn),
+      crash_level_(static_cast<std::size_t>(nranks), -1),
+      dead_(new std::atomic<bool>[static_cast<std::size_t>(nranks)]) {
+  if (nranks < 1 || ppn < 1)
+    throw std::invalid_argument("FaultInjector: nranks/ppn must be >= 1");
+  for (const FaultEvent& e : plan_.events) {
+    if ((e.kind == FaultKind::straggler || e.kind == FaultKind::rank_crash) &&
+        e.rank >= nranks)
+      throw std::invalid_argument("FaultInjector: event rank out of range");
+    if (e.kind == FaultKind::link_degrade && e.node >= (nranks + ppn - 1) / ppn)
+      throw std::invalid_argument("FaultInjector: event node out of range");
+    if (e.kind == FaultKind::rank_crash) {
+      int& lvl = crash_level_[static_cast<std::size_t>(e.rank)];
+      lvl = lvl < 0 ? e.level : std::min(lvl, e.level);
+    }
+  }
+  reset_dynamic();
+}
+
+double FaultInjector::link_factor(int node, double now_ns) const {
+  double f = 1.0;
+  for (const FaultEvent& e : plan_.events)
+    if (e.kind == FaultKind::link_degrade && e.node == node &&
+        e.active_at(now_ns))
+      f *= e.factor;
+  return f;
+}
+
+double FaultInjector::min_link_factor(double now_ns) const {
+  double f = 1.0;
+  for (const FaultEvent& e : plan_.events)
+    if (e.kind == FaultKind::link_degrade && e.active_at(now_ns))
+      f = std::min(f, link_factor(e.node, now_ns));
+  return f;
+}
+
+double FaultInjector::compute_factor(int rank, double now_ns) const {
+  double f = 1.0;
+  for (const FaultEvent& e : plan_.events)
+    if (e.kind == FaultKind::straggler && e.rank == rank && e.active_at(now_ns))
+      f *= e.factor;
+  return f;
+}
+
+Verdict FaultInjector::attempt_verdict(int from, int to, std::uint64_t seq,
+                                       int attempt, double now_ns) const {
+  double p_drop = 0.0, p_corrupt = 0.0;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.rank >= 0 && e.rank != from) continue;
+    if (!e.active_at(now_ns)) continue;
+    if (e.kind == FaultKind::msg_drop)
+      p_drop = std::max(p_drop, e.probability);
+    else if (e.kind == FaultKind::msg_corrupt)
+      p_corrupt = std::max(p_corrupt, e.probability);
+  }
+  if (p_drop <= 0.0 && p_corrupt <= 0.0) return Verdict::deliver;
+  const std::uint64_t key =
+      hash_mix(plan_.seed, static_cast<std::uint64_t>(from),
+               static_cast<std::uint64_t>(to), seq,
+               static_cast<std::uint64_t>(attempt));
+  if (hash_unit(hash_mix(key, kTagDrop)) < p_drop) return Verdict::drop;
+  if (hash_unit(hash_mix(key, kTagCorrupt)) < p_corrupt)
+    return Verdict::corrupt;
+  return Verdict::deliver;
+}
+
+void FaultInjector::corrupt_payload(std::span<std::uint64_t> payload, int from,
+                                    int to, std::uint64_t seq,
+                                    int attempt) const {
+  if (payload.empty()) return;
+  const std::uint64_t h =
+      hash_mix(plan_.seed, kTagMask, static_cast<std::uint64_t>(from),
+               static_cast<std::uint64_t>(to), seq,
+               static_cast<std::uint64_t>(attempt));
+  const std::size_t word = static_cast<std::size_t>(h % payload.size());
+  const std::uint64_t mask = splitmix64(h) | 1ull;  // never a zero flip
+  payload[word] ^= mask;
+}
+
+void FaultInjector::reset_dynamic() {
+  for (int r = 0; r < nranks_; ++r)
+    dead_[static_cast<std::size_t>(r)].store(false, std::memory_order_relaxed);
+  dead_count_.store(0, std::memory_order_release);
+}
+
+void FaultInjector::mark_dead(int rank) {
+  bool expected = false;
+  if (dead_[static_cast<std::size_t>(rank)].compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel))
+    dead_count_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+int FaultInjector::lowest_live() const {
+  for (int r = 0; r < nranks_; ++r)
+    if (!dead(r)) return r;
+  return -1;
+}
+
+int FaultInjector::lowest_live_local(int node) const {
+  for (int l = 0; l < ppn_; ++l)
+    if (!dead(node * ppn_ + l)) return l;
+  return -1;
+}
+
+int FaultInjector::adopter_of(int dead_rank) const {
+  const int node = node_of(dead_rank);
+  const int local = lowest_live_local(node);
+  if (local >= 0) return node * ppn_ + local;
+  return lowest_live();
+}
+
+std::vector<int> FaultInjector::parts_of(int rank) const {
+  std::vector<int> parts;
+  if (!dead(rank)) parts.push_back(rank);
+  for (int d = 0; d < nranks_; ++d)
+    if (dead(d) && adopter_of(d) == rank) parts.push_back(d);
+  return parts;
+}
+
+}  // namespace numabfs::faults

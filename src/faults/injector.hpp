@@ -1,0 +1,109 @@
+#pragma once
+/// \file injector.hpp
+/// Runtime side of chaos mode: answers the runtime's fault queries
+/// deterministically from a `FaultPlan`.
+///
+/// Two kinds of state live here. *Scheduled* state (crash levels, drop
+/// probabilities, degrade windows) is immutable and queried by pure
+/// functions of (seed, endpoints, sequence, virtual time). *Dynamic* state
+/// is the liveness of ranks: a crashing rank marks itself dead, survivors
+/// observe the death at their next barrier and deterministically re-assign
+/// the dead rank's graph partition (`adopter_of`/`parts_of`). Dynamic state
+/// is reset by `Cluster::run`, so every SPMD run replays the same history.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+namespace numabfs::faults {
+
+/// Outcome of one delivery attempt of one message.
+enum class Verdict {
+  deliver,  ///< the attempt arrives intact
+  drop,     ///< the NIC eats the message (receiver sees nothing)
+  corrupt,  ///< the payload arrives with flipped bits (checksum will fail)
+};
+
+class FaultInjector {
+ public:
+  /// `nranks`/`ppn` describe the cluster shape (for node mapping and
+  /// adopter selection).
+  FaultInjector(FaultPlan plan, int nranks, int ppn);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool checkpointing() const { return plan_.checkpointing(); }
+  bool has_crashes() const { return plan_.has_crashes(); }
+  int nranks() const { return nranks_; }
+  int node_of(int rank) const { return rank / ppn_; }
+
+  // --- scheduled, pure queries ------------------------------------------
+
+  /// NIC bandwidth multiplier of `node` at virtual time `now_ns` (product
+  /// of active degrade/flap events; 1.0 when none).
+  double link_factor(int node, double now_ns) const;
+  /// Worst link factor over all nodes (ring collectives are bound by it).
+  double min_link_factor(double now_ns) const;
+
+  /// Charged-time multiplier of `rank` at `now_ns` (straggler events).
+  double compute_factor(int rank, double now_ns) const;
+
+  /// Deterministic coin for delivery attempt `attempt` of message `seq`
+  /// from `from` to `to` at virtual time `now_ns`.
+  Verdict attempt_verdict(int from, int to, std::uint64_t seq, int attempt,
+                          double now_ns) const;
+
+  /// Corrupt `payload` in place the way attempt (`seq`, `attempt`) is
+  /// corrupted on the wire: one deterministic word gets a nonzero XOR mask.
+  void corrupt_payload(std::span<std::uint64_t> payload, int from, int to,
+                       std::uint64_t seq, int attempt) const;
+
+  /// BFS level at which `rank` is scheduled to crash, or -1.
+  int crash_level(int rank) const {
+    return crash_level_[static_cast<std::size_t>(rank)];
+  }
+
+  // --- dynamic liveness --------------------------------------------------
+
+  /// Forget all deaths (called by Cluster::run before launching ranks).
+  void reset_dynamic();
+
+  /// Called by the crashing rank itself, before it retires from barriers —
+  /// the barrier release then orders the store before any survivor's read.
+  void mark_dead(int rank);
+
+  bool dead(int rank) const {
+    return dead_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+  bool any_dead() const { return dead_count() > 0; }
+  int dead_count() const { return dead_count_.load(std::memory_order_acquire); }
+
+  /// Lowest live rank of the cluster (the effective recorder), or -1.
+  int lowest_live() const;
+  /// Lowest live local index on `node` (the effective node leader), or -1
+  /// when the whole node is dead.
+  int lowest_live_local(int node) const;
+
+  /// Deterministic adopter of a dead rank's partition: the lowest live rank
+  /// on the same node, else the lowest live rank overall; -1 if none.
+  int adopter_of(int dead_rank) const;
+
+  /// The partitions `rank` is currently responsible for: its own plus every
+  /// dead partition it adopted. Pure function of the current dead set, so
+  /// all survivors compute consistent assignments after the same barrier.
+  std::vector<int> parts_of(int rank) const;
+
+ private:
+  FaultPlan plan_;
+  int nranks_;
+  int ppn_;
+  std::vector<int> crash_level_;
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::atomic<int> dead_count_{0};
+};
+
+}  // namespace numabfs::faults

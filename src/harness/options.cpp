@@ -5,6 +5,15 @@
 
 namespace numabfs::harness {
 
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const std::string& why) {
+  throw std::invalid_argument("Options: --" + key + "=" + value + ": " + why);
+}
+
+}  // namespace
+
 Options::Options(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -21,18 +30,56 @@ Options::Options(int argc, char** argv) {
 
 int Options::get_int(const std::string& key, int def) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::stoi(it->second);
+  if (it == kv_.end()) return def;
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(it->second, &pos);
+  } catch (const std::invalid_argument&) {
+    bad_value(key, it->second, "expected an integer");
+  } catch (const std::out_of_range&) {
+    bad_value(key, it->second, "integer out of range");
+  }
+  if (pos != it->second.size())
+    bad_value(key, it->second, "trailing characters after integer");
+  return v;
 }
 
 std::uint64_t Options::get_u64(const std::string& key,
                                std::uint64_t def) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::stoull(it->second);
+  if (it == kv_.end()) return def;
+  if (!it->second.empty() && it->second[0] == '-')
+    bad_value(key, it->second, "expected a non-negative integer");
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(it->second, &pos);
+  } catch (const std::invalid_argument&) {
+    bad_value(key, it->second, "expected a non-negative integer");
+  } catch (const std::out_of_range&) {
+    bad_value(key, it->second, "integer out of range");
+  }
+  if (pos != it->second.size())
+    bad_value(key, it->second, "trailing characters after integer");
+  return v;
 }
 
 double Options::get_double(const std::string& key, double def) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::stod(it->second);
+  if (it == kv_.end()) return def;
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::invalid_argument&) {
+    bad_value(key, it->second, "expected a number");
+  } catch (const std::out_of_range&) {
+    bad_value(key, it->second, "number out of range");
+  }
+  if (pos != it->second.size())
+    bad_value(key, it->second, "trailing characters after number");
+  return v;
 }
 
 std::string Options::get_str(const std::string& key,
@@ -45,6 +92,33 @@ bool Options::get_bool(const std::string& key, bool def) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+int Options::get_int_min(const std::string& key, int def, int lo) const {
+  const int v = get_int(key, def);
+  if (v < lo)
+    bad_value(key, std::to_string(v),
+              "must be >= " + std::to_string(lo));
+  return v;
+}
+
+double Options::get_double_in(const std::string& key, double def, double lo,
+                              double hi, bool lo_exclusive) const {
+  const double v = get_double(key, def);
+  const bool lo_ok = lo_exclusive ? v > lo : v >= lo;
+  if (!lo_ok || v > hi)
+    bad_value(key, std::to_string(v),
+              "must be in " + std::string(lo_exclusive ? "(" : "[") +
+                  std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  return v;
+}
+
+std::uint64_t Options::get_u64_pow2(const std::string& key,
+                                    std::uint64_t def) const {
+  const std::uint64_t v = get_u64(key, def);
+  if (v == 0 || (v & (v - 1)) != 0)
+    bad_value(key, std::to_string(v), "must be a power of two");
+  return v;
 }
 
 }  // namespace numabfs::harness

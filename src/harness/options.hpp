@@ -3,6 +3,13 @@
 /// Minimal --key=value command-line parsing shared by benches and examples.
 /// Every bench accepts at least --scale, --roots and --seed so the paper's
 /// experiments can be rerun at larger sizes than the fast defaults.
+///
+/// All numeric getters reject malformed values (trailing junk, overflow,
+/// empty) with a message naming the offending key and value instead of the
+/// bare std::sto* behavior (silent prefix parse or a context-free
+/// exception). The get_*_checked family additionally range-checks, so a
+/// typo like --scale=-3 or --granularity=100 dies with an actionable
+/// message before a multi-minute run starts.
 
 #include <cstdint>
 #include <map>
@@ -20,6 +27,16 @@ class Options {
   double get_double(const std::string& key, double def) const;
   std::string get_str(const std::string& key, const std::string& def) const;
   bool get_bool(const std::string& key, bool def) const;
+
+  /// get_int, additionally requiring value >= lo.
+  int get_int_min(const std::string& key, int def, int lo) const;
+  /// get_double, additionally requiring lo < v <= hi (lo_exclusive) or
+  /// lo <= v <= hi.
+  double get_double_in(const std::string& key, double def, double lo,
+                       double hi, bool lo_exclusive = false) const;
+  /// get_u64, additionally requiring a power of two (e.g. summary
+  /// granularities, which index bit blocks).
+  std::uint64_t get_u64_pow2(const std::string& key, std::uint64_t def) const;
 
  private:
   std::map<std::string, std::string> kv_;

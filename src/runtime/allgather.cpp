@@ -4,6 +4,10 @@
 #include <cassert>
 #include <cstring>
 #include <set>
+#include <string>
+
+#include "faults/errors.hpp"
+#include "faults/hash.hpp"
 
 namespace numabfs::rt {
 
@@ -55,6 +59,16 @@ coll_model::CollTimes model_time(const Cluster& c, const Comm& comm,
   return t;
 }
 
+/// Attempt budget for one chunk of a fault-tolerant allgather (mirrors
+/// PostOffice::kMaxAttempts).
+constexpr int kCollMaxAttempts = 20;
+
+/// Retransmit timeout after `attempt` (exponential backoff, capped).
+double coll_rto_ns(const sim::CostParams& cp, int attempt) {
+  const int exp = std::min(attempt, 6);
+  return 4.0 * cp.nic_msg_latency_ns * static_cast<double>(1u << exp);
+}
+
 }  // namespace
 
 coll_model::CollTimes allgather(Proc& p, Comm& comm,
@@ -62,6 +76,7 @@ coll_model::CollTimes allgather(Proc& p, Comm& comm,
                                 std::span<std::uint64_t> dst,
                                 AllgatherAlgo algo, sim::Phase phase) {
   Cluster& c = *p.cluster;
+  const faults::FaultInjector* inj = c.injector();
   const int idx = comm.index_of(p.rank);
   assert(idx >= 0);
   const size_t words = chunk.size();
@@ -69,25 +84,76 @@ coll_model::CollTimes allgather(Proc& p, Comm& comm,
 
   comm.publish_ptr(idx, chunk.data());
   comm.publish_val(idx, words);
+  if (inj != nullptr) comm.publish_chk(idx, faults::checksum64(chunk));
   p.barrier(comm, sim::Phase::stall);  // inputs ready; clocks aligned
 
   // Real data movement: copy every member's chunk into our private dst.
+  // Under chaos, every incoming inter-node chunk rolls per-attempt
+  // drop/corrupt coins; corruption is detected by verifying the copied
+  // words against the sender's published checksum, then re-copied.
+  double fault_extra_ns = 0.0;
   for (int i = 0; i < comm.size(); ++i) {
+    std::uint64_t* out = dst.data() + static_cast<size_t>(i) * words;
+    const int peer = comm.world_rank(i);
+    const std::uint64_t bytes = words * sizeof(std::uint64_t);
+    if (inj != nullptr && inj->dead(peer)) {
+      // No sender: the slice is defined as zeros so callers see a stable
+      // (empty) contribution instead of stale garbage.
+      std::memset(out, 0, bytes);
+      continue;
+    }
     assert(comm.val(i) == words && "allgather requires equal chunk sizes");
     const auto* src = static_cast<const std::uint64_t*>(comm.ptr(i));
-    std::memcpy(dst.data() + static_cast<size_t>(i) * words, src,
-                words * sizeof(std::uint64_t));
-    const std::uint64_t bytes = words * sizeof(std::uint64_t);
+    const bool inter = c.node_of(peer) != p.node;
     if (i != idx) {
-      if (c.node_of(comm.world_rank(i)) == p.node)
-        p.prof.counters().bytes_intra_node += bytes;
-      else
+      if (inter)
         p.prof.counters().bytes_inter_node += bytes;
+      else
+        p.prof.counters().bytes_intra_node += bytes;
+    }
+    if (inj == nullptr || i == idx || !inter) {
+      std::memcpy(out, src, bytes);
+      continue;
+    }
+    const std::uint64_t seq = p.coll_seq++;
+    const std::uint64_t want = comm.chk(i);
+    for (int attempt = 0;; ++attempt) {
+      const faults::Verdict v =
+          inj->attempt_verdict(peer, p.rank, seq, attempt, p.clock.now_ns());
+      if (v == faults::Verdict::drop) {
+        fault_extra_ns += c.link().nic_transfer_ns(bytes, 1, c.node_of(peer),
+                                                   p.node) +
+                          coll_rto_ns(c.params(), attempt);
+        if (attempt + 1 >= kCollMaxAttempts)
+          throw faults::FaultError(
+              "allgather: chunk from rank " + std::to_string(peer) +
+              " to rank " + std::to_string(p.rank) + " dropped " +
+              std::to_string(kCollMaxAttempts) + " times; giving up");
+        continue;
+      }
+      std::memcpy(out, src, bytes);
+      if (v == faults::Verdict::corrupt)
+        inj->corrupt_payload({out, words}, peer, p.rank, seq, attempt);
+      if (faults::checksum64({out, words}) == want) break;
+      // Checksum mismatch: discard, NACK, wait for the retransmission.
+      fault_extra_ns += 2.0 * c.params().nic_msg_latency_ns;
+      if (attempt + 1 >= kCollMaxAttempts)
+        throw faults::FaultError(
+            "allgather: chunk from rank " + std::to_string(peer) +
+            " to rank " + std::to_string(p.rank) + " corrupted " +
+            std::to_string(kCollMaxAttempts) + " times; giving up");
     }
   }
 
-  const coll_model::CollTimes t =
+  coll_model::CollTimes t =
       model_time(c, comm, words * sizeof(std::uint64_t), algo);
+  if (inj != nullptr) {
+    // A degraded fabric stretches the inter-node stage; retransmissions of
+    // individual chunks are tacked onto the total.
+    const double lf = inj->min_link_factor(p.clock.now_ns());
+    t.total_ns += t.inter_ns * (1.0 / lf - 1.0) + fault_extra_ns;
+    t.inter_ns /= lf;
+  }
   p.charge(phase, t.total_ns);
   p.barrier(comm, phase);  // collective completes together
   return t;
@@ -97,13 +163,17 @@ namespace {
 
 std::uint64_t allreduce_impl(Proc& p, Comm& comm, std::uint64_t v, bool max_op,
                              sim::Phase phase) {
+  const faults::FaultInjector* inj = p.cluster->injector();
   const int idx = comm.index_of(p.rank);
   assert(idx >= 0);
   comm.publish_val(idx, v);
   p.barrier(comm, phase);
   std::uint64_t acc = max_op ? 0 : 0;
-  for (int i = 0; i < comm.size(); ++i)
+  for (int i = 0; i < comm.size(); ++i) {
+    // Dead members' slots hold stale values from before the crash.
+    if (inj != nullptr && inj->dead(comm.world_rank(i))) continue;
     acc = max_op ? std::max(acc, comm.val(i)) : acc + comm.val(i);
+  }
   p.charge(phase, coll_model::allreduce_scalar_ns(*p.cluster, comm.size()));
   p.barrier(comm, phase);
   return acc;

@@ -8,6 +8,23 @@
 
 namespace numabfs::rt {
 
+void Proc::charge(sim::Phase phase, double ns) {
+  if (cluster != nullptr) {
+    const faults::FaultInjector* inj = cluster->injector();
+    if (inj != nullptr) ns *= inj->compute_factor(rank, clock.now_ns());
+  }
+  clock.charge_ns(ns);
+  prof.add(phase, ns);
+}
+
+void Cluster::retire_rank(const Proc& p) {
+  world_->retire(p.rank);
+  node_comms_[static_cast<size_t>(p.node)]->retire(p.rank);
+  subgroups_[static_cast<size_t>(p.local)]->retire(p.rank);
+  if (p.local == 0) leaders_->retire(p.rank);
+  barriers_dirty_.store(true, std::memory_order_release);
+}
+
 Cluster::Cluster(sim::Topology topo, sim::CostParams params, int ppn)
     : topo_(std::move(topo)),
       params_(params),
@@ -48,6 +65,18 @@ Cluster::Cluster(sim::Topology topo, sim::CostParams params, int ppn)
 }
 
 void Cluster::run(const std::function<void(Proc&)>& fn) {
+  // Replay chaos from a clean slate: deaths belong to one SPMD run, and a
+  // prior run's barrier retirements must not leak into this one — a revived
+  // rank that the barriers no longer wait for would let its peers read
+  // slots it has not published yet. The dirty flag (not the injector, which
+  // may have been detached since) decides whether a rearm is needed.
+  if (injector_) injector_->reset_dynamic();
+  if (barriers_dirty_.exchange(false, std::memory_order_acq_rel)) {
+    world_->rearm();
+    for (auto& nc : node_comms_) nc->rearm();
+    leaders_->rearm();
+    for (auto& sg : subgroups_) sg->rearm();
+  }
   std::vector<Proc> procs(static_cast<size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     Proc& p = procs[static_cast<size_t>(r)];

@@ -10,10 +10,12 @@
 /// node-shared structures are simply buffers every rank thread of a node
 /// can see — exactly the effect the paper achieves with `mmap`.
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "numasim/cost_params.hpp"
 #include "numasim/link_model.hpp"
 #include "numasim/mem_model.hpp"
@@ -39,12 +41,15 @@ struct Proc {
   sim::VClock clock;
   sim::PhaseProfile prof;
   Cluster* cluster = nullptr;
+  /// Per-rank collective sequence number (SPMD-deterministic); keys the
+  /// fault coins of the data-moving collectives.
+  std::uint64_t coll_seq = 0;
 
-  /// Charge modeled time to the clock and attribute it to `phase`.
-  void charge(sim::Phase phase, double ns) {
-    clock.charge_ns(ns);
-    prof.add(phase, ns);
-  }
+  /// Charge modeled time to the clock and attribute it to `phase`. In
+  /// chaos mode an active straggler event on this rank inflates the charge
+  /// (the whole rank — compute, copies, NIC — runs slow); defined
+  /// out-of-line because it consults the cluster's fault injector.
+  void charge(sim::Phase phase, double ns);
 
   /// Barrier on `c`, charging the wait (group max - own arrival) to `phase`.
   void barrier(Comm& c, sim::Phase phase) {
@@ -72,6 +77,20 @@ class Cluster {
   const sim::CostParams& params() const { return params_; }
   const sim::MemModel& mem() const { return mem_; }
   const sim::LinkModel& link() const { return link_; }
+
+  /// Attach a fault injector ("chaos mode"); nullptr disables. The
+  /// injector's dynamic liveness state is reset at the start of each run().
+  void set_fault_injector(std::shared_ptr<faults::FaultInjector> inj) {
+    injector_ = std::move(inj);
+  }
+  /// The active fault injector, or nullptr when chaos mode is off.
+  const faults::FaultInjector* injector() const { return injector_.get(); }
+  faults::FaultInjector* injector() { return injector_.get(); }
+
+  /// Permanently remove a crashing rank from every communicator barrier it
+  /// belongs to (world, node, its subgroup, leaders if applicable), so the
+  /// surviving ranks keep synchronizing without it.
+  void retire_rank(const Proc& p);
 
   Comm& world() { return *world_; }
   Comm& node_comm(int node) { return *node_comms_[static_cast<size_t>(node)]; }
@@ -102,6 +121,10 @@ class Cluster {
   std::vector<std::unique_ptr<Comm>> node_comms_;
   std::unique_ptr<Comm> leaders_;
   std::vector<std::unique_ptr<Comm>> subgroups_;
+  std::shared_ptr<faults::FaultInjector> injector_;
+  /// Set by retire_rank; tells the next run() to rebuild every barrier at
+  /// full membership (retirement is permanent on a std::barrier).
+  std::atomic<bool> barriers_dirty_{false};
 
   std::vector<sim::PhaseProfile> profiles_;
 };

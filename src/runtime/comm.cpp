@@ -4,9 +4,10 @@ namespace numabfs::rt {
 
 Comm::Comm(std::vector<int> world_ranks)
     : members_(std::move(world_ranks)),
-      barrier_(static_cast<int>(members_.size())),
+      barrier_(std::make_unique<VBarrier>(static_cast<int>(members_.size()))),
       ptr_slots_(members_.size(), nullptr),
-      val_slots_(members_.size(), 0) {}
+      val_slots_(members_.size(), 0),
+      chk_slots_(members_.size(), 0) {}
 
 int Comm::index_of(int world_rank) const {
   for (size_t i = 0; i < members_.size(); ++i)

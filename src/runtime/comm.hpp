@@ -11,6 +11,7 @@
 
 #include <barrier>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "numasim/vclock.hpp"
@@ -42,6 +43,18 @@ class VBarrier {
     b2_.arrive_and_wait();
   }
 
+  /// Permanently remove member `idx` (rank crash in chaos mode): counts as
+  /// its arrival for the current phase and lowers the expected count for
+  /// all later phases, so the survivors keep synchronizing. Must be called
+  /// at a sync boundary (the member is not inside a sync), which holds for
+  /// crashes at BFS level boundaries. The member's slot is zeroed so it
+  /// stops contributing to the group maximum.
+  void retire(int idx) {
+    slots_[static_cast<size_t>(idx)] = 0.0;
+    b1_.arrive_and_drop();
+    b2_.arrive_and_drop();
+  }
+
  private:
   std::vector<double> slots_;
   std::barrier<> b1_, b2_;
@@ -58,7 +71,14 @@ class Comm {
   /// Index of `world_rank` in this comm, or -1 if not a member.
   int index_of(int world_rank) const;
 
-  VBarrier& barrier() { return barrier_; }
+  VBarrier& barrier() { return *barrier_; }
+  /// Retire `world_rank` from this comm's barrier (see VBarrier::retire).
+  void retire(int world_rank) { barrier_->retire(index_of(world_rank)); }
+  /// Rebuild the barrier at full membership. Retirement permanently lowers
+  /// a std::barrier's expected count, so after a run with crashes the next
+  /// run (which revives every rank) needs a fresh barrier; called by
+  /// Cluster::run between runs, never while rank threads are inside.
+  void rearm() { barrier_ = std::make_unique<VBarrier>(size()); }
 
   // --- exchange slots (publish before a barrier, read after) -----------
   void publish_ptr(int idx, const void* p) {
@@ -69,12 +89,19 @@ class Comm {
     val_slots_[static_cast<size_t>(idx)] = v;
   }
   std::uint64_t val(int idx) const { return val_slots_[static_cast<size_t>(idx)]; }
+  /// Payload checksum slot (fault-tolerant collectives verify copies
+  /// against it and retransmit on mismatch).
+  void publish_chk(int idx, std::uint64_t v) {
+    chk_slots_[static_cast<size_t>(idx)] = v;
+  }
+  std::uint64_t chk(int idx) const { return chk_slots_[static_cast<size_t>(idx)]; }
 
  private:
   std::vector<int> members_;
-  VBarrier barrier_;
+  std::unique_ptr<VBarrier> barrier_;
   std::vector<const void*> ptr_slots_;
   std::vector<std::uint64_t> val_slots_;
+  std::vector<std::uint64_t> chk_slots_;
 };
 
 }  // namespace numabfs::rt

@@ -1,37 +1,112 @@
 #include "runtime/p2p.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "faults/errors.hpp"
+#include "faults/hash.hpp"
 
 namespace numabfs::rt {
+
+namespace {
+
+/// Retransmit timeout after attempt `attempt` (0-based): 4x the one-way
+/// message latency, doubling per attempt, capped so a long fault burst
+/// degrades gracefully instead of exploding the virtual clock.
+double rto_ns(const sim::CostParams& cp, int attempt) {
+  const int exp = std::min(attempt, 6);
+  return 4.0 * cp.nic_msg_latency_ns * static_cast<double>(1u << exp);
+}
+
+}  // namespace
 
 void PostOffice::send(Proc& from, int to, std::span<const std::uint64_t> payload,
                       sim::Phase phase, int flows) {
   const Cluster& c = *from.cluster;
+  const faults::FaultInjector* inj = c.injector();
   const std::uint64_t bytes = payload.size() * sizeof(std::uint64_t);
-  double ns;
-  if (c.node_of(to) == from.node) {
-    ns = c.params().cico_factor * static_cast<double>(bytes) /
-         c.link().shm_flow_bw(flows);
-    from.prof.counters().bytes_intra_node += bytes;
-  } else {
-    ns = c.link().nic_transfer_ns(bytes, flows, from.node, c.node_of(to));
-    from.prof.counters().bytes_inter_node += bytes;
-  }
-  from.charge(phase, ns);
+  const bool inter = c.node_of(to) != from.node;
 
+  const std::uint64_t seq =
+      seq_[static_cast<size_t>(from.rank) * static_cast<size_t>(nranks_) +
+           static_cast<size_t>(to)]++;
+  const std::uint64_t checksum = faults::checksum64(payload);
   Box& box = boxes_[static_cast<size_t>(to)];
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.push_back(Message{from.rank, from.clock.now_ns(),
-                                {payload.begin(), payload.end()}});
+
+  for (int attempt = 0;; ++attempt) {
+    // Per-attempt wire time. An active link-degradation event stretches the
+    // bandwidth term of inter-node transfers; the latency term is physics.
+    double ns;
+    if (inter) {
+      ns = c.link().nic_transfer_ns(bytes, flows, from.node, c.node_of(to));
+      if (inj != nullptr) {
+        const double lf = std::min(
+            inj->link_factor(from.node, from.clock.now_ns()),
+            inj->link_factor(c.node_of(to), from.clock.now_ns()));
+        ns = c.params().nic_msg_latency_ns +
+             (ns - c.params().nic_msg_latency_ns) / lf;
+      }
+      from.prof.counters().bytes_inter_node += bytes;
+    } else {
+      ns = c.params().cico_factor * static_cast<double>(bytes) /
+           c.link().shm_flow_bw(flows);
+      from.prof.counters().bytes_intra_node += bytes;
+    }
+
+    // Drop/corrupt coins model the NIC; intra-node shared-memory copies are
+    // reliable (the paper's mmap'd buffers don't traverse the fabric).
+    faults::Verdict v = faults::Verdict::deliver;
+    if (inj != nullptr && inter)
+      v = inj->attempt_verdict(from.rank, to, seq, attempt, from.clock.now_ns());
+
+    if (v == faults::Verdict::drop) {
+      // The attempt burned wire time, then the sender sat out the
+      // retransmit timeout waiting for an ACK that never came.
+      from.charge(phase, ns + rto_ns(c.params(), attempt));
+      if (attempt + 1 >= kMaxAttempts)
+        throw faults::FaultError(
+            "PostOffice::send: message " + std::to_string(seq) + " from rank " +
+            std::to_string(from.rank) + " to rank " + std::to_string(to) +
+            " dropped " + std::to_string(kMaxAttempts) + " times; giving up");
+      continue;
+    }
+
+    from.charge(phase, ns);
+    std::vector<std::uint64_t> data(payload.begin(), payload.end());
+    if (v == faults::Verdict::corrupt && inj != nullptr)
+      inj->corrupt_payload(data, from.rank, to, seq, attempt);
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.queue.push_back(Message{from.rank, from.clock.now_ns(), seq, checksum,
+                                  std::move(data)});
+    }
+    box.cv.notify_all();
+
+    if (v == faults::Verdict::corrupt) {
+      // The receiver's checksum check rejects this copy and NACKs; the
+      // sender pays the NACK round trip before retransmitting.
+      from.charge(phase, 2.0 * c.params().nic_msg_latency_ns);
+      if (attempt + 1 >= kMaxAttempts)
+        throw faults::FaultError(
+            "PostOffice::send: message " + std::to_string(seq) + " from rank " +
+            std::to_string(from.rank) + " to rank " + std::to_string(to) +
+            " corrupted " + std::to_string(kMaxAttempts) + " times; giving up");
+      continue;
+    }
+    return;
   }
-  box.cv.notify_all();
 }
 
 std::vector<std::uint64_t> PostOffice::recv(Proc& self, int from,
-                                            sim::Phase phase) {
+                                            sim::Phase phase, double timeout_ns,
+                                            int host_grace_ms) {
+  const faults::FaultInjector* inj =
+      self.cluster != nullptr ? self.cluster->injector() : nullptr;
+  const bool finite = timeout_ns < kNoTimeout;
   Box& box = boxes_[static_cast<size_t>(self.rank)];
   std::unique_lock<std::mutex> lock(box.mu);
+  int host_waited_ms = 0;
   for (;;) {
     auto it = std::find_if(box.queue.begin(), box.queue.end(),
                            [from](const Message& m) { return m.from == from; });
@@ -43,9 +118,45 @@ std::vector<std::uint64_t> PostOffice::recv(Proc& self, int from,
         self.prof.add(phase, m.arrival_ns - self.clock.now_ns());
         self.clock.advance_to_ns(m.arrival_ns);
       }
+      if (faults::checksum64(m.payload) != m.checksum) {
+        // Damaged in flight: discard and NACK (one message latency); the
+        // retransmission is (or will be) behind it in the queue.
+        if (self.cluster != nullptr)
+          self.charge(phase, self.cluster->params().nic_msg_latency_ns);
+        lock.lock();
+        continue;
+      }
       return std::move(m.payload);
     }
-    box.cv.wait(lock);
+
+    if (inj != nullptr && inj->dead(from)) {
+      if (finite) {
+        self.clock.charge_ns(timeout_ns);
+        self.prof.add(phase, timeout_ns);
+      }
+      throw faults::TimeoutError(
+          "PostOffice::recv: rank " + std::to_string(self.rank) +
+          " waiting on rank " + std::to_string(from) +
+          ", which has crashed; no message will arrive");
+    }
+    if (finite && host_waited_ms >= host_grace_ms) {
+      // Nothing arrived within the host grace window: model the virtual
+      // wait as exactly the requested timeout, deterministically.
+      self.clock.charge_ns(timeout_ns);
+      self.prof.add(phase, timeout_ns);
+      throw faults::TimeoutError(
+          "PostOffice::recv: rank " + std::to_string(self.rank) +
+          " timed out after " + std::to_string(timeout_ns) +
+          " virtual ns waiting for a message from rank " +
+          std::to_string(from));
+    }
+    if (finite || inj != nullptr) {
+      // Poll so a crash of the sender (or host-clock silence) is noticed.
+      box.cv.wait_for(lock, std::chrono::milliseconds(10));
+      host_waited_ms += 10;
+    } else {
+      box.cv.wait(lock);
+    }
   }
 }
 

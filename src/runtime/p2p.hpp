@@ -9,10 +9,21 @@
 /// the message with its completion time; the receiver's clock advances to
 /// max(own, arrival) — i.e. a receive can wait, a send cannot (eager/RDMA
 /// put model).
+///
+/// Fault tolerance: when the cluster carries a `faults::FaultInjector`,
+/// every delivery attempt rolls deterministic drop/corrupt coins. Payloads
+/// are checksummed (FNV-1a) at the sender; the receiver verifies and
+/// discards corrupted arrivals, and the sender pays the NACK round-trip
+/// plus an exponential virtual-time backoff before each retransmission.
+/// Dropped attempts cost the sender the retransmit timeout. A message that
+/// exhausts the attempt budget raises `faults::FaultError`; a receive from
+/// a crashed (or silent, with a finite timeout) peer raises
+/// `faults::TimeoutError` instead of deadlocking the host thread.
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -24,20 +35,46 @@ namespace numabfs::rt {
 
 class PostOffice {
  public:
-  explicit PostOffice(int nranks) : boxes_(static_cast<size_t>(nranks)) {}
+  /// Sentinel timeout: wait forever (the pre-chaos-mode behavior).
+  static constexpr double kNoTimeout = std::numeric_limits<double>::infinity();
+  /// Delivery attempts per message before giving up with FaultError.
+  static constexpr int kMaxAttempts = 20;
+
+  explicit PostOffice(int nranks)
+      : nranks_(nranks),
+        boxes_(static_cast<size_t>(nranks)),
+        seq_(static_cast<size_t>(nranks) * static_cast<size_t>(nranks), 0) {}
 
   /// Send `payload` to rank `to`. `flows` is the number of concurrent flows
   /// the caller knows are sharing the path (for NIC saturation modeling).
+  /// Under an injected fault plan this is a *reliable* send: it charges the
+  /// full retransmit history of the message (see file comment) and throws
+  /// faults::FaultError if the attempt budget is exhausted.
   void send(Proc& from, int to, std::span<const std::uint64_t> payload,
             sim::Phase phase, int flows = 1);
 
-  /// Blocking receive of the oldest message from `from`.
-  std::vector<std::uint64_t> recv(Proc& self, int from, sim::Phase phase);
+  /// Blocking receive of the oldest intact message from `from`. Corrupted
+  /// arrivals (checksum mismatch) are discarded after charging the NACK.
+  ///
+  /// `timeout_ns` bounds the *virtual* wait: on timeout, exactly
+  /// `timeout_ns` is charged and faults::TimeoutError is thrown, so two
+  /// runs with the same fault plan time out at bit-identical virtual
+  /// times. The timeout decision itself is host-assisted: a sender marked
+  /// dead by the fault injector trips it immediately, otherwise it trips
+  /// after `host_grace_ms` of host-clock silence (only the *decision* uses
+  /// the host clock — in any schedule where the message is never sent the
+  /// outcome is the same). A receive from a dead sender throws even with
+  /// the default infinite timeout: a diagnosable error beats a deadlock.
+  std::vector<std::uint64_t> recv(Proc& self, int from, sim::Phase phase,
+                                  double timeout_ns = kNoTimeout,
+                                  int host_grace_ms = 5000);
 
  private:
   struct Message {
     int from;
     double arrival_ns;
+    std::uint64_t seq;
+    std::uint64_t checksum;  ///< FNV-1a of the *intended* payload
     std::vector<std::uint64_t> payload;
   };
   struct Box {
@@ -45,7 +82,12 @@ class PostOffice {
     std::condition_variable cv;
     std::deque<Message> queue;
   };
+
+  int nranks_;
   std::vector<Box> boxes_;
+  /// Per-(from,to) message sequence numbers; each cell has a single writer
+  /// (the sending rank's thread), so plain words suffice.
+  std::vector<std::uint64_t> seq_;
 };
 
 }  // namespace numabfs::rt

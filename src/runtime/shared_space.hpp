@@ -39,11 +39,52 @@ class SharedSpace {
   void clear() {
     std::lock_guard<std::mutex> lock(mu_);
     bufs_.clear();
+    claims_.clear();
+  }
+
+  // --- write discipline --------------------------------------------------
+  // The phase discipline described in the file comment is a convention; in
+  // a racy caller it fails silently. These hooks make it checkable: writers
+  // declare the region they are about to write, and two ranks claiming
+  // overlapping words of the same buffer within one phase is diagnosed as a
+  // logic error instead of racing.
+
+  /// Declare that `rank` will write words [lo, hi) of (node, key) during
+  /// the current phase. Throws std::logic_error if the region overlaps a
+  /// claim made by a *different* rank since the last begin_phase().
+  void claim_write(int node, const std::string& key, std::size_t lo,
+                   std::size_t hi, int rank) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Claim& c : claims_[{node, key}]) {
+      if (c.rank != rank && lo < c.hi && c.lo < hi) {
+        throw std::logic_error(
+            "SharedSpace: out-of-phase write on node " + std::to_string(node) +
+            " key '" + key + "': rank " + std::to_string(rank) + " words [" +
+            std::to_string(lo) + ", " + std::to_string(hi) +
+            ") overlap rank " + std::to_string(c.rank) + " words [" +
+            std::to_string(c.lo) + ", " + std::to_string(c.hi) +
+            ") claimed in the same phase");
+      }
+    }
+    claims_[{node, key}].push_back(Claim{lo, hi, rank});
+  }
+
+  /// Forget all write claims. Call at phase boundaries (barriers), after
+  /// which previously written regions are fair game again.
+  void begin_phase() {
+    std::lock_guard<std::mutex> lock(mu_);
+    claims_.clear();
   }
 
  private:
+  struct Claim {
+    std::size_t lo, hi;
+    int rank;
+  };
+
   std::mutex mu_;
   std::map<std::pair<int, std::string>, std::vector<std::uint64_t>> bufs_;
+  std::map<std::pair<int, std::string>, std::vector<Claim>> claims_;
 };
 
 }  // namespace numabfs::rt

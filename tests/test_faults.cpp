@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "faults/hash.hpp"
+#include "faults/injector.hpp"
+
+namespace numabfs::faults {
+namespace {
+
+// --- plan parsing --------------------------------------------------------
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const FaultPlan p = FaultPlan::parse(
+      "seed:42,crash:rank=3@level=4,drop:prob=0.05,drop:prob=0.2@rank=1,"
+      "corrupt:prob=0.01,straggle:rank=2@factor=3,"
+      "degrade:node=1@factor=0.25@from=1e6@until=5e6,"
+      "flap:node=0@factor=0.1@period=2e6@duty=0.5");
+  EXPECT_EQ(p.seed, 42u);
+  ASSERT_EQ(p.events.size(), 7u);
+  EXPECT_EQ(p.events[0].kind, FaultKind::rank_crash);
+  EXPECT_EQ(p.events[0].rank, 3);
+  EXPECT_EQ(p.events[0].level, 4);
+  EXPECT_EQ(p.events[1].kind, FaultKind::msg_drop);
+  EXPECT_DOUBLE_EQ(p.events[1].probability, 0.05);
+  EXPECT_EQ(p.events[1].rank, -1);
+  EXPECT_EQ(p.events[2].rank, 1);
+  EXPECT_EQ(p.events[3].kind, FaultKind::msg_corrupt);
+  EXPECT_EQ(p.events[4].kind, FaultKind::straggler);
+  EXPECT_DOUBLE_EQ(p.events[4].factor, 3.0);
+  EXPECT_EQ(p.events[5].kind, FaultKind::link_degrade);
+  EXPECT_DOUBLE_EQ(p.events[5].from_ns, 1e6);
+  EXPECT_DOUBLE_EQ(p.events[5].until_ns, 5e6);
+  EXPECT_DOUBLE_EQ(p.events[6].period_ns, 2e6);
+  EXPECT_DOUBLE_EQ(p.events[6].duty, 0.5);
+  EXPECT_TRUE(p.has_crashes());
+  EXPECT_TRUE(p.checkpointing());  // implied by the crash
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(FaultPlan, EmptyAndWhitespaceSpecs) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse("seed:7").events.empty());
+}
+
+TEST(FaultPlan, CheckpointPolicy) {
+  EXPECT_FALSE(FaultPlan::parse("drop:prob=0.1").checkpointing());
+  EXPECT_TRUE(FaultPlan::parse("checkpoint:on").checkpointing());
+  EXPECT_TRUE(FaultPlan::parse("crash:rank=0@level=1").checkpointing());
+  EXPECT_FALSE(
+      FaultPlan::parse("crash:rank=0@level=1,checkpoint:off").checkpointing());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("explode:now"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:prob=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:prob=-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("degrade:node=0@factor=0"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("degrade:node=0@factor=2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("straggle:rank=0@factor=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash:rank=3"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash:level=3"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("flap:node=0@factor=0.5@duty=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      FaultPlan::parse("degrade:node=0@factor=0.5@from=5e6@until=1e6"),
+      std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:prob=abc"), std::invalid_argument);
+}
+
+TEST(FaultPlan, DescribeMentionsEvents) {
+  const FaultPlan p = FaultPlan::parse("seed:9,drop:prob=0.1");
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("drop"), std::string::npos);
+}
+
+// --- hashing -------------------------------------------------------------
+
+TEST(FaultHash, ChecksumDetectsAnySingleCorruption) {
+  std::vector<std::uint64_t> payload{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint64_t clean = checksum64(payload);
+  const FaultPlan plan = FaultPlan::parse("seed:1,corrupt:prob=1");
+  const FaultInjector inj(plan, 4, 2);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<std::uint64_t> copy = payload;
+    inj.corrupt_payload(copy, 0, 1, 7, attempt);
+    EXPECT_NE(copy, payload) << "corruption must change the payload";
+    EXPECT_NE(checksum64(copy), clean)
+        << "checksum must detect the corruption";
+  }
+}
+
+TEST(FaultHash, UnitIsInHalfOpenInterval) {
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    const double u = hash_unit(splitmix64(x));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+// --- deterministic coins -------------------------------------------------
+
+TEST(FaultInjector, VerdictsAreDeterministic) {
+  const FaultPlan plan = FaultPlan::parse("seed:5,drop:prob=0.3,corrupt:prob=0.1");
+  const FaultInjector a(plan, 8, 2);
+  const FaultInjector b(plan, 8, 2);
+  for (std::uint64_t seq = 0; seq < 200; ++seq)
+    for (int attempt = 0; attempt < 3; ++attempt)
+      EXPECT_EQ(a.attempt_verdict(1, 5, seq, attempt, 0.0),
+                b.attempt_verdict(1, 5, seq, attempt, 0.0));
+}
+
+TEST(FaultInjector, DropFrequencyTracksProbability) {
+  const FaultPlan plan = FaultPlan::parse("seed:11,drop:prob=0.25");
+  const FaultInjector inj(plan, 4, 1);
+  int drops = 0;
+  const int trials = 4000;
+  for (int s = 0; s < trials; ++s)
+    if (inj.attempt_verdict(0, 2, static_cast<std::uint64_t>(s), 0, 0.0) ==
+        Verdict::drop)
+      ++drops;
+  const double rate = static_cast<double>(drops) / trials;
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(FaultInjector, SenderFilterRestrictsDrops) {
+  const FaultPlan plan = FaultPlan::parse("seed:3,drop:prob=1@rank=1");
+  const FaultInjector inj(plan, 4, 1);
+  EXPECT_EQ(inj.attempt_verdict(1, 2, 0, 0, 0.0), Verdict::drop);
+  EXPECT_EQ(inj.attempt_verdict(0, 2, 0, 0, 0.0), Verdict::deliver);
+  EXPECT_EQ(inj.attempt_verdict(2, 1, 0, 0, 0.0), Verdict::deliver);
+}
+
+TEST(FaultInjector, SeedChangesCoins) {
+  const FaultInjector a(FaultPlan::parse("seed:1,drop:prob=0.5"), 4, 1);
+  const FaultInjector b(FaultPlan::parse("seed:2,drop:prob=0.5"), 4, 1);
+  int differing = 0;
+  for (std::uint64_t seq = 0; seq < 256; ++seq)
+    if (a.attempt_verdict(0, 1, seq, 0, 0.0) !=
+        b.attempt_verdict(0, 1, seq, 0, 0.0))
+      ++differing;
+  EXPECT_GT(differing, 0);
+}
+
+// --- time-varying factors ------------------------------------------------
+
+TEST(FaultInjector, LinkFactorWindows) {
+  const FaultPlan plan =
+      FaultPlan::parse("degrade:node=1@factor=0.25@from=1e6@until=5e6");
+  const FaultInjector inj(plan, 4, 2);
+  EXPECT_DOUBLE_EQ(inj.link_factor(1, 0.0), 1.0);       // before window
+  EXPECT_DOUBLE_EQ(inj.link_factor(1, 2e6), 0.25);      // inside
+  EXPECT_DOUBLE_EQ(inj.link_factor(1, 6e6), 1.0);       // after
+  EXPECT_DOUBLE_EQ(inj.link_factor(0, 2e6), 1.0);       // other node
+  EXPECT_DOUBLE_EQ(inj.min_link_factor(2e6), 0.25);
+  EXPECT_DOUBLE_EQ(inj.min_link_factor(0.0), 1.0);
+}
+
+TEST(FaultInjector, FlappingLinkFollowsDutyCycle) {
+  const FaultPlan plan =
+      FaultPlan::parse("flap:node=0@factor=0.1@period=1000@duty=0.5");
+  const FaultInjector inj(plan, 2, 1);
+  EXPECT_DOUBLE_EQ(inj.link_factor(0, 100.0), 0.1);   // first half: active
+  EXPECT_DOUBLE_EQ(inj.link_factor(0, 700.0), 1.0);   // second half: off
+  EXPECT_DOUBLE_EQ(inj.link_factor(0, 1100.0), 0.1);  // periodic
+}
+
+TEST(FaultInjector, StragglerInflatesComputeFactor) {
+  const FaultPlan plan = FaultPlan::parse("straggle:rank=2@factor=3");
+  const FaultInjector inj(plan, 4, 2);
+  EXPECT_DOUBLE_EQ(inj.compute_factor(2, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(inj.compute_factor(1, 0.0), 1.0);
+}
+
+// --- liveness / adoption -------------------------------------------------
+
+TEST(FaultInjector, CrashLevelLookup) {
+  const FaultPlan plan =
+      FaultPlan::parse("crash:rank=3@level=4,crash:rank=1@level=2");
+  const FaultInjector inj(plan, 4, 2);
+  EXPECT_EQ(inj.crash_level(3), 4);
+  EXPECT_EQ(inj.crash_level(1), 2);
+  EXPECT_EQ(inj.crash_level(0), -1);
+}
+
+TEST(FaultInjector, AdoptionPrefersSameNode) {
+  FaultInjector inj(FaultPlan::parse("seed:1"), 8, 2);  // 4 nodes x ppn 2
+  EXPECT_FALSE(inj.any_dead());
+  inj.mark_dead(3);  // node 1 = ranks {2, 3}
+  EXPECT_TRUE(inj.dead(3));
+  EXPECT_EQ(inj.dead_count(), 1);
+  EXPECT_EQ(inj.adopter_of(3), 2);  // same-node survivor
+  EXPECT_EQ(inj.parts_of(2), (std::vector<int>{2, 3}));
+  EXPECT_EQ(inj.parts_of(0), (std::vector<int>{0}));
+}
+
+TEST(FaultInjector, AdoptionFallsBackAcrossNodes) {
+  FaultInjector inj(FaultPlan::parse("seed:1"), 8, 2);
+  inj.mark_dead(2);
+  inj.mark_dead(3);  // whole node 1 dead
+  EXPECT_EQ(inj.adopter_of(2), 0);  // lowest live overall
+  EXPECT_EQ(inj.adopter_of(3), 0);
+  EXPECT_EQ(inj.parts_of(0), (std::vector<int>{0, 2, 3}));
+}
+
+TEST(FaultInjector, LeaderAndRecorderElection) {
+  FaultInjector inj(FaultPlan::parse("seed:1"), 8, 2);
+  EXPECT_EQ(inj.lowest_live(), 0);
+  EXPECT_EQ(inj.lowest_live_local(1), 0);  // local index of rank 2
+  inj.mark_dead(0);
+  EXPECT_EQ(inj.lowest_live(), 1);
+  inj.mark_dead(2);
+  EXPECT_EQ(inj.lowest_live_local(1), 1);  // local index of rank 3
+  inj.mark_dead(3);
+  EXPECT_EQ(inj.lowest_live_local(1), -1);  // node 1 fully dead
+}
+
+TEST(FaultInjector, ResetDynamicRevivesEveryone) {
+  FaultInjector inj(FaultPlan::parse("seed:1"), 4, 1);
+  inj.mark_dead(1);
+  inj.mark_dead(2);
+  EXPECT_EQ(inj.dead_count(), 2);
+  inj.reset_dynamic();
+  EXPECT_EQ(inj.dead_count(), 0);
+  EXPECT_FALSE(inj.dead(1));
+  EXPECT_EQ(inj.lowest_live(), 0);
+}
+
+TEST(FaultInjector, MarkDeadIsIdempotent) {
+  FaultInjector inj(FaultPlan::parse("seed:1"), 4, 1);
+  inj.mark_dead(1);
+  inj.mark_dead(1);
+  EXPECT_EQ(inj.dead_count(), 1);
+}
+
+}  // namespace
+}  // namespace numabfs::faults

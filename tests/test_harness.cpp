@@ -92,6 +92,38 @@ TEST(Options, RejectsPositionalArgs) {
   EXPECT_THROW(Options(2, const_cast<char**>(argv)), std::invalid_argument);
 }
 
+TEST(Options, ValidatesNumericValues) {
+  const char* argv[] = {"prog", "--scale=-3", "--ratio=abc", "--count=12x",
+                        "--weak-factor=1.5", "--granularity=100"};
+  Options o(6, const_cast<char**>(argv));
+  // Range validators reject with actionable messages...
+  EXPECT_THROW(o.get_int_min("scale", 1, 1), std::invalid_argument);
+  EXPECT_THROW(o.get_double_in("weak-factor", 0.5, 0.0, 1.0, true),
+               std::invalid_argument);
+  EXPECT_THROW(o.get_u64_pow2("granularity", 64), std::invalid_argument);
+  // ...as do malformed or partially-numeric values anywhere.
+  EXPECT_THROW(o.get_double("ratio", 0.0), std::invalid_argument);
+  EXPECT_THROW(o.get_int("count", 0), std::invalid_argument);
+  try {
+    o.get_int_min("scale", 1, 1);
+    FAIL() << "negative scale must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--scale=-3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Options, InRangeValuesPassValidation) {
+  const char* argv[] = {"prog", "--scale=16", "--weak-factor=0.5",
+                        "--granularity=256"};
+  Options o(4, const_cast<char**>(argv));
+  EXPECT_EQ(o.get_int_min("scale", 1, 1), 16);
+  EXPECT_DOUBLE_EQ(o.get_double_in("weak-factor", 1.0, 0.0, 1.0, true), 0.5);
+  EXPECT_EQ(o.get_u64_pow2("granularity", 64), 256u);
+  // Defaults pass through untouched when the key is absent.
+  EXPECT_EQ(o.get_int_min("missing", 9, 1), 9);
+}
+
 TEST(Table, AlignsColumnsAndFormats) {
   Table t({"name", "value"});
   t.row({"a", "1"});

@@ -224,6 +224,44 @@ TEST(SharedSpace, ConcurrentGetOrCreate) {
   EXPECT_NE(ptrs[0], ptrs[8]);
 }
 
+TEST(SharedSpace, OverlappingClaimsByDifferentRanksAreDiagnosed) {
+  SharedSpace ss;
+  ss.node_words(0, "q", 128);
+  ss.claim_write(0, "q", 0, 64, /*rank=*/0);
+  try {
+    ss.claim_write(0, "q", 60, 80, /*rank=*/1);
+    FAIL() << "overlapping claim by another rank must throw";
+  } catch (const std::logic_error& e) {
+    // The diagnostic names both writers and both regions.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("'q'"), std::string::npos) << what;
+  }
+}
+
+TEST(SharedSpace, DisjointAndSameRankClaimsAreFine) {
+  SharedSpace ss;
+  ss.node_words(0, "q", 128);
+  ss.claim_write(0, "q", 0, 64, 0);
+  EXPECT_NO_THROW(ss.claim_write(0, "q", 64, 128, 1));  // disjoint
+  EXPECT_NO_THROW(ss.claim_write(0, "q", 0, 32, 0));    // same rank again
+  // Same region on a different key or node is a different buffer.
+  EXPECT_NO_THROW(ss.claim_write(0, "other", 0, 64, 1));
+  EXPECT_NO_THROW(ss.claim_write(1, "q", 0, 64, 1));
+}
+
+TEST(SharedSpace, PhaseBoundaryResetsClaims) {
+  SharedSpace ss;
+  ss.node_words(0, "q", 128);
+  ss.claim_write(0, "q", 0, 128, 0);
+  ss.begin_phase();  // the barrier: rank 0's writes are now published
+  EXPECT_NO_THROW(ss.claim_write(0, "q", 0, 128, 1));
+  ss.clear();  // full reset drops claims along with the buffers
+  ss.node_words(0, "q", 128);
+  EXPECT_NO_THROW(ss.claim_write(0, "q", 0, 128, 2));
+}
+
 TEST(P2p, RoundTripAndArrivalTime) {
   Cluster c(topo(2), sim::CostParams{}, 1);
   PostOffice po(c.nranks());
