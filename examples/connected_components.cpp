@@ -1,9 +1,14 @@
 /// \file connected_components.cpp
 /// BFS as a building block (the paper's motivation: spanning trees,
 /// connected components, shortest paths all reduce to BFS): label the
-/// connected components of an R-MAT graph by repeated distributed BFS and
-/// print the size distribution — R-MAT graphs have one giant component and
-/// a dust of tiny ones.
+/// connected components of an R-MAT graph and print the size distribution —
+/// R-MAT graphs have one giant component and a dust of tiny ones.
+///
+/// The sweep is submitted through the query engine: up to 64 unlabeled
+/// seeds go out as one multi-source wave (one lane each), so the dust of
+/// tiny components is labeled by a handful of waves instead of thousands
+/// of one-at-a-time BFS runs. Two seeds can land in the same component;
+/// the later lane simply rediscovers it and is skipped at labeling time.
 ///
 ///   ./connected_components [--scale=14] [--nodes=2]
 
@@ -11,8 +16,7 @@
 #include <iostream>
 #include <map>
 
-#include "bfs/hybrid.hpp"
-#include "bfs/state.hpp"
+#include "engine/engine.hpp"
 #include "harness/graph500.hpp"
 #include "harness/options.hpp"
 #include "harness/table.hpp"
@@ -33,40 +37,69 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> component(n, 0);  // 0 = unlabeled
   std::uint32_t next_label = 0;
   double virtual_ns = 0;
-
-  // Repeated BFS: each unlabeled, non-isolated vertex seeds a component.
-  // (Isolated vertices become singleton components without a BFS.)
-  bfs::Config cfg = bfs::granularity(256);
-  bfs::DistState st(exp.dist(), cfg, eo.nodes, eo.ppn);
+  std::uint64_t waves = 0;
   std::uint64_t singletons = 0;
   std::map<std::uint64_t, std::uint64_t> size_histogram;  // size -> count
 
-  for (std::uint64_t v = 0; v < n; ++v) {
-    if (component[v] != 0) continue;
-    ++next_label;
-    if (g.degree(static_cast<graph::Vertex>(v)) == 0) {
-      component[v] = next_label;
-      ++singletons;
-      ++size_histogram[1];
-      continue;
-    }
-    const bfs::BfsRunResult r =
-        bfs::run_bfs(exp.cluster(), exp.dist(), st,
-                     static_cast<graph::Vertex>(v));
-    virtual_ns += r.time_ns;
-    const auto parent = bfs::gather_parents(exp.dist(), st);
-    std::uint64_t size = 0;
-    for (std::uint64_t u = 0; u < n; ++u)
-      if (parent[u] != graph::kNoVertex) {
-        // Sanity: BFS must not leak into already-labeled components.
-        if (component[u] != 0) {
+  // The engine serves each batch of seeds as one wave; the sink labels the
+  // components from the per-lane distance arrays. Distances suffice, so the
+  // (large) per-lane parent arrays are not tracked.
+  const bfs::Config cfg = bfs::granularity(256);
+  engine::EngineConfig ec;
+  ec.max_batch = engine::kMaxLanes;
+  ec.track_parents = false;
+  bool overlap_error = false;
+  ec.sink = [&](std::span<const engine::WaveQuery> wq,
+                const engine::WaveResult&, engine::WaveState& ws) {
+    for (std::size_t l = 0; l < wq.size(); ++l) {
+      // A lane whose seed was labeled by an earlier lane of this wave
+      // rediscovered that component; its coverage is identical, skip it.
+      if (component[wq[l].source] != 0) continue;
+      ++next_label;
+      const auto dist =
+          engine::gather_lane_distances(exp.dist(), ws, static_cast<int>(l));
+      std::uint64_t size = 0;
+      for (std::uint64_t u = 0; u < n; ++u) {
+        if (dist[u] == engine::kUnreached) continue;
+        if (component[u] != 0) {  // BFS leaked into a labeled component
           std::cerr << "component overlap at vertex " << u << "\n";
-          return 1;
+          overlap_error = true;
+          return;
         }
         component[u] = next_label;
         ++size;
       }
-    ++size_histogram[size];
+      ++size_histogram[size];
+    }
+  };
+  engine::QueryEngine eng(exp.cluster(), exp.dist(), cfg, ec);
+
+  std::uint64_t cursor = 0;
+  std::uint64_t qid = 0;
+  while (cursor < n) {
+    // Collect the next batch of unlabeled seeds (isolated vertices become
+    // singleton components without occupying a lane).
+    std::vector<engine::Query> batch;
+    for (; cursor < n && batch.size() < engine::kMaxLanes; ++cursor) {
+      const auto v = static_cast<graph::Vertex>(cursor);
+      if (component[cursor] != 0) continue;
+      if (g.degree(v) == 0) {
+        component[cursor] = ++next_label;
+        ++singletons;
+        ++size_histogram[1];
+        continue;
+      }
+      engine::Query q;
+      q.id = qid++;
+      q.kind = engine::QueryKind::full_distances;
+      q.source = v;
+      batch.push_back(q);
+    }
+    if (batch.empty()) continue;
+    const engine::EngineReport rep = eng.serve(batch);
+    virtual_ns += rep.total_ns;
+    waves += static_cast<std::uint64_t>(rep.waves);
+    if (overlap_error) return 1;
   }
 
   std::uint64_t labeled = 0;
@@ -79,7 +112,8 @@ int main(int argc, char** argv) {
   std::cout << "graph: scale " << bundle.params.scale << ", " << n
             << " vertices\n"
             << "components: " << next_label << " (" << singletons
-            << " isolated vertices)\n"
+            << " isolated vertices), labeled by " << waves
+            << " engine waves\n"
             << "virtual BFS time total: " << virtual_ns / 1e6 << " ms\n\n";
 
   harness::Table t({"component size", "count"});

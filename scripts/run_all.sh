@@ -38,6 +38,9 @@ run bench_hybrid_vs_pure --scale=$((17 + BOOST))
 run bench_ablation_allgather
 run bench_ablation_2d
 run bench_2d_bfs --scale=$((18 + BOOST))
+run bench_fault_tolerance --scale=$((16 + BOOST))
+run bench_query_engine --scale=$((17 + BOOST)) \
+    --svg="$OUT/bench_query_engine_p95.svg"
 run bench_model_doctor
 run bench_kernels
 

@@ -11,25 +11,6 @@ namespace cm = rt::coll_model;
 
 namespace {
 
-/// Zero bits [lo, hi) of a word-addressed bitmap.
-void zero_bit_range(std::span<std::uint64_t> w, std::uint64_t lo,
-                    std::uint64_t hi) {
-  if (lo >= hi) return;
-  const std::uint64_t wlo = lo / 64, whi = (hi - 1) / 64;
-  if (wlo == whi) {
-    std::uint64_t mask = ~0ull << (lo & 63);
-    if ((hi & 63) != 0) mask &= (1ull << (hi & 63)) - 1;
-    w[wlo] &= ~mask;
-    return;
-  }
-  w[wlo] &= ~(~0ull << (lo & 63));
-  for (std::uint64_t i = wlo + 1; i < whi; ++i) w[i] = 0;
-  if ((hi & 63) != 0)
-    w[whi] &= ~((1ull << (hi & 63)) - 1);
-  else
-    w[whi] = 0;
-}
-
 /// Summary-bit range [sb, se) covering partition `part`'s vertex block.
 std::pair<std::uint64_t, std::uint64_t> summary_range(const DistState& st,
                                                       std::uint64_t block_bits,
@@ -83,7 +64,7 @@ void clear_out_bits_part(rt::Proc& p, const graph::DistGraph& dg,
   // exactly the partition's summary range.
   auto out_s = st.out_summary(part);
   const auto [sb, se] = summary_range(st, block_bits, part);
-  zero_bit_range(out_s.bits().words(), sb, se);
+  out_s.bits().clear_range(sb, se);
   p.charge(phase, u.stream_pass_ns(block_words + (se - sb + 63) / 64));
 }
 

@@ -1,0 +1,198 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "graph/rmat.hpp"
+#include "harness/graph500.hpp"
+
+namespace numabfs::engine {
+
+namespace {
+
+std::uint64_t degree_of(const graph::DistGraph& dg, graph::Vertex v) {
+  const int r = dg.part.owner(v);
+  const auto& lg = dg.locals[static_cast<std::size_t>(r)];
+  const std::uint64_t lv = v - lg.vbegin;
+  return lg.bu_offsets[lv + 1] - lg.bu_offsets[lv];
+}
+
+/// Uniform double in [0, 1) from the top 53 bits of a splitmix64 draw.
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(rt::Cluster& c, const graph::DistGraph& dg,
+                         const bfs::Config& cfg, EngineConfig ec)
+    : cluster_(c),
+      dg_(dg),
+      ec_(std::move(ec)),
+      ws_(dg, cfg, c.topo().nodes(), c.ppn(), ec_.track_parents) {
+  if (ec_.max_batch < 1 || ec_.max_batch > kMaxLanes)
+    throw std::invalid_argument("QueryEngine: max_batch must be 1..64");
+  if (ec_.queue_depth < 1)
+    throw std::invalid_argument("QueryEngine: queue_depth must be >= 1");
+  if (const std::string err = cfg.validate(); !err.empty())
+    throw std::invalid_argument("QueryEngine: " + err);
+}
+
+std::vector<Query> QueryEngine::generate(const graph::DistGraph& dg,
+                                         const WorkloadSpec& spec) {
+  if (spec.num_queries < 1)
+    throw std::invalid_argument("generate: num_queries must be >= 1");
+  if (spec.mean_interarrival_ns < 0 ||
+      spec.st_fraction + spec.khop_fraction > 1.0 + 1e-12)
+    throw std::invalid_argument("generate: bad workload spec");
+  if (spec.k_min < 0 || spec.k_max < spec.k_min)
+    throw std::invalid_argument("generate: bad k_hop radius range");
+
+  // Hash-walk the vertex space for degree > 0 endpoints, the same
+  // deterministic selection as Graph500 root picking.
+  std::uint64_t x = graph::splitmix64(spec.seed ^ 0x9e3779b97f4a7c15ull);
+  const auto pick_vertex = [&]() -> graph::Vertex {
+    for (int attempt = 0; attempt < 4096; ++attempt) {
+      x = graph::splitmix64(x + 1);
+      const auto v = static_cast<graph::Vertex>(x % dg.n);
+      if (degree_of(dg, v) > 0) return v;
+    }
+    throw std::runtime_error("generate: no degree > 0 vertex found");
+  };
+
+  std::vector<Query> out;
+  out.reserve(static_cast<std::size_t>(spec.num_queries));
+  double t = 0;
+  for (int i = 0; i < spec.num_queries; ++i) {
+    x = graph::splitmix64(x + 1);
+    t += -spec.mean_interarrival_ns * std::log1p(-to_unit(x));
+
+    Query q;
+    q.id = i;
+    q.arrival_ns = t;
+    x = graph::splitmix64(x + 1);
+    const double u = to_unit(x);
+    if (u < spec.st_fraction) {
+      q.kind = QueryKind::st_reachability;
+      q.source = pick_vertex();
+      q.target = pick_vertex();
+    } else if (u < spec.st_fraction + spec.khop_fraction) {
+      q.kind = QueryKind::k_hop;
+      q.source = pick_vertex();
+      x = graph::splitmix64(x + 1);
+      q.k = spec.k_min +
+            static_cast<int>(x % static_cast<std::uint64_t>(
+                                     spec.k_max - spec.k_min + 1));
+    } else {
+      q.kind = QueryKind::full_distances;
+      q.source = pick_vertex();
+    }
+    out.push_back(q);
+  }
+  return out;
+}
+
+EngineReport QueryEngine::serve(std::span<const Query> queries) {
+  const auto nq = static_cast<std::size_t>(queries.size());
+  for (std::size_t i = 1; i < nq; ++i)
+    if (queries[i].arrival_ns < queries[i - 1].arrival_ns)
+      throw std::invalid_argument("serve: queries not sorted by arrival");
+
+  EngineReport rep;
+  rep.results.assign(nq, QueryResult{});
+  if (nq == 0) return rep;
+
+  struct Admitted {
+    std::size_t idx;
+    double admit_ns;
+  };
+  std::deque<Admitted> queue;
+  std::size_t next = 0;     // first not-yet-admitted arrival
+  double last_dequeue = 0;  // instant queue space last became available
+
+  // Admit every arrival up to time `t` that finds room in the bounded
+  // queue. An arrival that found the queue full waits at the door and is
+  // admitted the moment a wave dequeues (arrivals are FIFO end to end).
+  const auto admit = [&](double t) {
+    while (next < nq && queries[next].arrival_ns <= t &&
+           queue.size() < static_cast<std::size_t>(ec_.queue_depth)) {
+      const double adm = std::max(queries[next].arrival_ns, last_dequeue);
+      if (adm > queries[next].arrival_ns) ++rep.backpressured;
+      queue.push_back({next, adm});
+      ++next;
+    }
+  };
+
+  double now = 0;
+  std::size_t completed = 0;
+  std::vector<WaveQuery> wave;
+  std::vector<std::size_t> wave_idx;
+  std::vector<double> latencies(nq, 0);
+
+  while (completed < nq) {
+    if (queue.empty()) {
+      // Engine idle: jump to the next arrival.
+      now = std::max(now, queries[next].arrival_ns);
+      last_dequeue = std::max(last_dequeue, now);
+    }
+    admit(now);
+
+    // Dequeue up to max_batch lanes; the freed slots let door-blocked
+    // arrivals enter the queue now (they ride a later wave).
+    wave.clear();
+    wave_idx.clear();
+    const int batch =
+        std::min<int>(ec_.max_batch, static_cast<int>(queue.size()));
+    for (int l = 0; l < batch; ++l) {
+      const Admitted a = queue.front();
+      queue.pop_front();
+      const Query& q = queries[a.idx];
+      wave.push_back({q.kind, q.source, q.target, q.k});
+      wave_idx.push_back(a.idx);
+      auto& r = rep.results[a.idx];
+      r.id = q.id;
+      r.kind = q.kind;
+      r.arrival_ns = q.arrival_ns;
+      r.admit_ns = a.admit_ns;
+      r.start_ns = now;
+      r.wave = rep.waves;
+      r.lane = l;
+    }
+    last_dequeue = now;
+    admit(now);
+
+    const WaveResult wr = run_wave(cluster_, dg_, ws_, wave);
+    for (int l = 0; l < batch; ++l) {
+      auto& r = rep.results[wave_idx[static_cast<std::size_t>(l)]];
+      const LaneResult& lr = wr.lanes[static_cast<std::size_t>(l)];
+      r.complete_ns = now + lr.complete_ns;
+      r.complete_level = lr.complete_level;
+      r.reached = lr.reached;
+      r.visited = lr.visited;
+      latencies[wave_idx[static_cast<std::size_t>(l)]] = r.latency_ns();
+    }
+    if (ec_.sink) ec_.sink(wave, wr, ws_);
+
+    now += wr.wave_ns;
+    rep.busy_ns += wr.wave_ns;
+    rep.levels += wr.levels;
+    rep.recoveries += wr.recoveries;
+    rep.ranks_lost = std::max(rep.ranks_lost, wr.ranks_lost);
+    ++rep.waves;
+    completed += static_cast<std::size_t>(batch);
+  }
+
+  rep.total_ns = now;
+  rep.mean_latency_ns = harness::mean(latencies);
+  rep.p50_latency_ns = harness::percentile(latencies, 50);
+  rep.p95_latency_ns = harness::percentile(latencies, 95);
+  rep.p99_latency_ns = harness::percentile(latencies, 99);
+  rep.qps = rep.total_ns > 0
+                ? static_cast<double>(nq) * 1e9 / rep.total_ns
+                : 0.0;
+  return rep;
+}
+
+}  // namespace numabfs::engine

@@ -27,6 +27,24 @@ bool BitmapView::any() const {
   return false;
 }
 
+void BitmapView::clear_range(std::uint64_t begin, std::uint64_t end) {
+  assert(begin <= end && end <= nbits_);
+  if (begin >= end) return;
+  const std::uint64_t wlo = begin >> 6, whi = (end - 1) >> 6;
+  if (wlo == whi) {
+    std::uint64_t mask = ~0ull << (begin & 63);
+    if ((end & 63) != 0) mask &= (1ull << (end & 63)) - 1;
+    words_[wlo] &= ~mask;
+    return;
+  }
+  words_[wlo] &= ~(~0ull << (begin & 63));
+  for (std::uint64_t i = wlo + 1; i < whi; ++i) words_[i] = 0;
+  if ((end & 63) != 0)
+    words_[whi] &= ~((1ull << (end & 63)) - 1);
+  else
+    words_[whi] = 0;
+}
+
 namespace {
 
 /// OR `value` into dst[word_index], atomically or not.

@@ -52,6 +52,10 @@ class BitmapView {
 
   void reset() { std::memset(words_.data(), 0, words_.size() * 8); }
 
+  /// Zero the bits in [begin, end), leaving the rest of any straddled
+  /// boundary word intact (partition-range wipes of shared maps).
+  void clear_range(std::uint64_t begin, std::uint64_t end);
+
   /// Population count over [begin, end) bit positions.
   std::uint64_t count_range(std::uint64_t begin, std::uint64_t end) const;
   std::uint64_t count() const { return count_range(0, nbits_); }

@@ -1,5 +1,6 @@
 #include "harness/graph500.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "bfs/state.hpp"
@@ -145,6 +146,25 @@ double harmonic_mean(const std::vector<double>& xs) {
     inv += 1.0 / x;
   }
   return static_cast<double>(xs.size()) / inv;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  std::sort(xs.begin(), xs.end());
+  const double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
 }
 
 }  // namespace numabfs::harness

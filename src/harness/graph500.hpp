@@ -90,4 +90,13 @@ class Experiment {
 /// Harmonic mean (the Graph500 aggregation for TEPS).
 double harmonic_mean(const std::vector<double>& xs);
 
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0, 100]) by linear interpolation between order
+/// statistics (the common "linear" / type-7 definition); 0 for an empty
+/// input. Deterministic for a fixed input, so latency SLO reports are
+/// bit-reproducible.
+double percentile(std::vector<double> xs, double p);
+
 }  // namespace numabfs::harness

@@ -161,18 +161,24 @@ coll_model::CollTimes allgather(Proc& p, Comm& comm,
 
 namespace {
 
-std::uint64_t allreduce_impl(Proc& p, Comm& comm, std::uint64_t v, bool max_op,
+enum class ReduceOp { sum, max, bit_or };
+
+std::uint64_t allreduce_impl(Proc& p, Comm& comm, std::uint64_t v, ReduceOp op,
                              sim::Phase phase) {
   const faults::FaultInjector* inj = p.cluster->injector();
   const int idx = comm.index_of(p.rank);
   assert(idx >= 0);
   comm.publish_val(idx, v);
   p.barrier(comm, phase);
-  std::uint64_t acc = max_op ? 0 : 0;
+  std::uint64_t acc = 0;
   for (int i = 0; i < comm.size(); ++i) {
     // Dead members' slots hold stale values from before the crash.
     if (inj != nullptr && inj->dead(comm.world_rank(i))) continue;
-    acc = max_op ? std::max(acc, comm.val(i)) : acc + comm.val(i);
+    switch (op) {
+      case ReduceOp::sum: acc += comm.val(i); break;
+      case ReduceOp::max: acc = std::max(acc, comm.val(i)); break;
+      case ReduceOp::bit_or: acc |= comm.val(i); break;
+    }
   }
   p.charge(phase, coll_model::allreduce_scalar_ns(*p.cluster, comm.size()));
   p.barrier(comm, phase);
@@ -183,12 +189,17 @@ std::uint64_t allreduce_impl(Proc& p, Comm& comm, std::uint64_t v, bool max_op,
 
 std::uint64_t allreduce_sum(Proc& p, Comm& comm, std::uint64_t v,
                             sim::Phase phase) {
-  return allreduce_impl(p, comm, v, /*max_op=*/false, phase);
+  return allreduce_impl(p, comm, v, ReduceOp::sum, phase);
 }
 
 std::uint64_t allreduce_max(Proc& p, Comm& comm, std::uint64_t v,
                             sim::Phase phase) {
-  return allreduce_impl(p, comm, v, /*max_op=*/true, phase);
+  return allreduce_impl(p, comm, v, ReduceOp::max, phase);
+}
+
+std::uint64_t allreduce_or(Proc& p, Comm& comm, std::uint64_t v,
+                           sim::Phase phase) {
+  return allreduce_impl(p, comm, v, ReduceOp::bit_or, phase);
 }
 
 }  // namespace numabfs::rt

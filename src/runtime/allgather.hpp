@@ -41,5 +41,8 @@ std::uint64_t allreduce_sum(Proc& p, Comm& comm, std::uint64_t v,
                             sim::Phase phase);
 std::uint64_t allreduce_max(Proc& p, Comm& comm, std::uint64_t v,
                             sim::Phase phase);
+/// Bitwise-OR allreduce (lane masks of the multi-source BFS engine).
+std::uint64_t allreduce_or(Proc& p, Comm& comm, std::uint64_t v,
+                           sim::Phase phase);
 
 }  // namespace numabfs::rt

@@ -20,6 +20,31 @@ TEST(HarmonicMean, Basics) {
   EXPECT_LE(harmonic_mean({3.0, 6.0}), (3.0 + 6.0) / 2.0);  // HM <= AM
 }
 
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({-2.0, 2.0}), 0.0);
+}
+
+TEST(Percentile, OrderStatisticsAndInterpolation) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+  // Input order must not matter (the helper sorts its copy).
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0, 4.0}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 100), 4.0);
+  // Linear interpolation between order statistics (type-7): for 5 points,
+  // p90 sits 0.6 of the way from the 4th to the 5th value.
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0, 30.0, 40.0, 50.0}, 90), 46.0);
+  // Out-of-range p clamps instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 140), 2.0);
+  // p50 of an even-length input is the midpoint of the middle pair.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 9.0}, 50), 5.0);
+}
+
 TEST(GraphBundle, RootsAreDistinctAndSearchable) {
   const GraphBundle b = GraphBundle::make(12, 16, 5, 32);
   EXPECT_GT(b.roots.size(), 8u);
