@@ -1,0 +1,202 @@
+/// Ablation of the compressed, chunk-pipelined frontier exchange
+/// (DESIGN.md §10): codec mode x pipeline depth x sharing level, measured
+/// wire bytes vs their raw equivalents, the per-level gate decisions of one
+/// traversal, and a weak-scaling series locating where the codec's win
+/// over the raw exchange flips.
+///
+/// Expected shape: on comm-bound shapes (>= 8 nodes) the gated codec beats
+/// the raw ladder top ("+ Par allgather") by >= 1.15x virtual-time TEPS,
+/// because the sparse bottom-up shoulders and every top-down list ride
+/// compressed while ~50%-density bulge levels fall back to raw. On one
+/// node the wire is cheap shared memory and the codec's encode/decode
+/// passes buy nothing — the weak-scaling series shows the win shrinking
+/// toward break-even there (the gate falls back to raw rather than lose;
+/// force modes, not gated ones, would flip to a loss).
+
+#include <algorithm>
+#include <bit>
+#include <iostream>
+
+#include "common.hpp"
+#include "graph/codec.hpp"
+#include "harness/svg.hpp"
+
+namespace {
+
+using namespace numabfs;
+
+bfs::Config coded(bfs::CodecMode m, int chunks, bfs::Config base) {
+  base.codec = m;
+  base.exchange_chunks = chunks;
+  return base;
+}
+
+struct WireStats {
+  double wire_mb = 0;     // measured, mean over roots, summed over levels
+  double raw_mb = 0;      // raw equivalent of the same exchanges
+  double overlap_ms = 0;  // pipelining gain (per-rank mean)
+  double ratio() const { return wire_mb > 0 ? raw_mb / wire_mb : 1.0; }
+};
+
+WireStats wire_stats(const harness::EvalResult& r) {
+  WireStats s;
+  if (r.per_root.empty()) return s;
+  for (const auto& rr : r.per_root)
+    for (const auto& t : rr.trace) {
+      s.wire_mb += static_cast<double>(t.wire_bytes);
+      s.raw_mb += static_cast<double>(t.wire_raw_bytes);
+    }
+  const double n = static_cast<double>(r.per_root.size());
+  s.wire_mb /= n * 1e6;
+  s.raw_mb /= n * 1e6;
+  s.overlap_ms = r.profile.overlap_saved_ns() / 1e6;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Options opt(argc, argv);
+  const int scale = opt.get_int_min("scale", 20, 1);
+  const int roots = opt.get_int("roots", 4);
+  const int nodes = opt.get_int("nodes", 32);
+  const int ppn = opt.get_int("ppn", 4);
+  const bool weak = opt.get_int("weak", 1) != 0;
+  const std::uint64_t g = opt.get_u64_pow2("granularity", 256);
+
+  bench::print_header(
+      "compression ablation",
+      "Compressed chunk-pipelined exchange vs the raw Fig. 9 ladder top",
+      std::to_string(nodes) + " nodes x ppn " + std::to_string(ppn) +
+          ", scale " + std::to_string(scale));
+
+  const harness::GraphBundle bundle =
+      harness::GraphBundle::make(scale, 16, opt.get_u64("seed", 20120924));
+  harness::ExperimentOptions eo;
+  eo.nodes = nodes;
+  eo.ppn = ppn;
+  harness::Experiment e(bundle, eo);
+
+  // --- codec x chunking x sharing grid ----------------------------------
+  struct Row {
+    std::string name;
+    bfs::Config cfg;
+  };
+  const std::vector<Row> rows = {
+      {"+ Par allgather (raw wire)", bfs::par_allgather()},
+      {"+ Granularity (raw wire)", bfs::granularity(g)},
+      {"codec=gate   k=1", coded(bfs::CodecMode::gate, 1, bfs::granularity(g))},
+      {"codec=gate   k=4", coded(bfs::CodecMode::gate, 4, bfs::granularity(g))},
+      {"codec=gate   k=8", coded(bfs::CodecMode::gate, 8, bfs::granularity(g))},
+      {"codec=sparse k=4",
+       coded(bfs::CodecMode::force_sparse, 4, bfs::granularity(g))},
+      {"codec=dense  k=4",
+       coded(bfs::CodecMode::force_dense, 4, bfs::granularity(g))},
+      {"Original     + gate k=4",
+       coded(bfs::CodecMode::gate, 4, bfs::original())},
+      {"Share all    + gate k=4",
+       coded(bfs::CodecMode::gate, 4, bfs::share_all())},
+  };
+
+  harness::Table t({"variant", "TEPS", "vs Par allg", "wire MB", "raw MB",
+                    "reduction", "overlap saved"});
+  double par_teps = 0, gran_teps = 0, best_gate = 0;
+  WireStats best_gate_stats;
+  for (const auto& row : rows) {
+    const harness::EvalResult r = e.run(row.cfg, roots);
+    const WireStats s = wire_stats(r);
+    if (par_teps == 0) par_teps = r.harmonic_teps;
+    if (row.name.rfind("+ Granularity", 0) == 0) gran_teps = r.harmonic_teps;
+    if (row.name.rfind("codec=gate", 0) == 0 && r.harmonic_teps > best_gate) {
+      best_gate = r.harmonic_teps;
+      best_gate_stats = s;
+    }
+    t.row({row.name, harness::Table::gteps(r.harmonic_teps),
+           harness::Table::fmt(r.harmonic_teps / par_teps, 3) + "x",
+           harness::Table::fmt(s.wire_mb, 2),
+           harness::Table::fmt(s.raw_mb, 2),
+           harness::Table::fmt(s.ratio(), 2) + "x",
+           harness::Table::fmt(s.overlap_ms * 1e3, 1) + " us"});
+  }
+  t.print(std::cout);
+  std::cout << "\nbest gated codec: "
+            << harness::Table::fmt(best_gate / par_teps, 3)
+            << "x vs + Par allgather (the pre-codec ladder), "
+            << harness::Table::fmt(gran_teps > 0 ? best_gate / gran_teps : 0, 3)
+            << "x vs + Granularity (codec-off twin), wire reduction "
+            << harness::Table::fmt(best_gate_stats.ratio(), 2) << "x\n";
+
+  // --- per-level gate decisions (one root, gate k=4) --------------------
+  std::cout << "\nper-level gate decisions (root 0, codec=gate k=4):\n";
+  const auto [res, parent] = e.run_validated(
+      coded(bfs::CodecMode::gate, 4, bfs::granularity(g)), bundle.roots[0]);
+  (void)parent;
+  harness::Table lt({"level", "dir", "frontier", "codec", "raw KB", "wire KB",
+                     "reduction"});
+  for (const auto& tr : res.trace) {
+    if (tr.exchange_codec < 0) continue;  // final level: no exchange
+    lt.row({std::to_string(tr.level), tr.direction ? "bu" : "td",
+            std::to_string(tr.frontier_vertices),
+            graph::codec::to_string(
+                static_cast<graph::codec::Kind>(tr.exchange_codec)),
+            harness::Table::fmt(static_cast<double>(tr.wire_raw_bytes) / 1e3, 1),
+            harness::Table::fmt(static_cast<double>(tr.wire_bytes) / 1e3, 1),
+            harness::Table::fmt(tr.wire_reduction(), 2) + "x"});
+  }
+  lt.print(std::cout);
+
+  // --- weak scaling: where the codec wins and where it loses ------------
+  std::vector<std::string> cats;
+  std::vector<double> raw_series, codec_series;
+  if (weak) {
+    const int base_scale = opt.get_int("base-scale", std::max(1, scale - 4));
+    std::cout << "\nweak scaling (scale " << base_scale
+              << "+log2(nodes), ppn " << ppn << "):\n";
+    harness::Table wt({"nodes", "scale", "raw TEPS", "codec TEPS", "speedup",
+                       "wire reduction"});
+    int flip_nodes = -1;
+    double prev = 0;
+    for (int n : {1, 2, 4, 8, 16, 32}) {
+      if (n > std::max(nodes, 16)) break;
+      const int s = base_scale + std::countr_zero(static_cast<unsigned>(n));
+      const harness::GraphBundle b =
+          harness::GraphBundle::make(s, 16, opt.get_u64("seed", 20120924));
+      harness::ExperimentOptions weo;
+      weo.nodes = n;
+      weo.ppn = ppn;
+      harness::Experiment we(b, weo);
+      const harness::EvalResult raw = we.run(bfs::granularity(g), roots);
+      const harness::EvalResult cod =
+          we.run(coded(bfs::CodecMode::gate, 4, bfs::granularity(g)), roots);
+      const double sp = cod.harmonic_teps / raw.harmonic_teps;
+      if (prev != 0 && ((prev < 1.0) != (sp < 1.0))) flip_nodes = n;
+      prev = sp;
+      wt.row({std::to_string(n), std::to_string(s),
+              harness::Table::gteps(raw.harmonic_teps),
+              harness::Table::gteps(cod.harmonic_teps),
+              harness::Table::fmt(sp, 3) + "x",
+              harness::Table::fmt(wire_stats(cod).ratio(), 2) + "x"});
+      cats.push_back(std::to_string(n));
+      raw_series.push_back(raw.harmonic_teps / 1e9);
+      codec_series.push_back(cod.harmonic_teps / 1e9);
+    }
+    wt.print(std::cout);
+    if (flip_nodes > 0)
+      std::cout << "\ncodec win/loss flips at " << flip_nodes << " nodes\n";
+    else
+      std::cout << "\nno win/loss flip inside the swept node range\n";
+  }
+
+  if (opt.has("svg") && !cats.empty()) {
+    harness::SvgChart chart("compression ablation — weak scaling", "nodes",
+                            "GTEPS (virtual)");
+    chart.set_categories(cats);
+    chart.add_series("raw wire", raw_series);
+    chart.add_series("gated codec", codec_series);
+    const std::string path =
+        opt.get_str("svg", ".") + "/ablation_compression.svg";
+    chart.write_lines(path);
+    std::cout << "\nwrote " << path << "\n";
+  }
+  return 0;
+}

@@ -6,9 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <random>
+#include <vector>
 
 #include "graph/bitmap.hpp"
+#include "graph/codec.hpp"
 #include "graph/csr.hpp"
 #include "graph/rmat.hpp"
 #include "graph/summary.hpp"
@@ -16,6 +19,18 @@
 namespace {
 
 using namespace numabfs::graph;
+
+std::vector<std::uint64_t> random_frontier_words(std::size_t n,
+                                                 double density,
+                                                 std::uint64_t seed) {
+  std::vector<std::uint64_t> words(n, 0);
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution bit(density);
+  for (auto& w : words)
+    for (int b = 0; b < 64; ++b)
+      if (bit(rng)) w |= 1ull << b;
+  return words;
+}
 
 void BM_BitmapForEachSet(benchmark::State& state) {
   const std::uint64_t bits = 1ull << static_cast<unsigned>(state.range(0));
@@ -74,6 +89,84 @@ void BM_CopyBitsUnaligned(benchmark::State& state) {
                           static_cast<std::int64_t>(bits / 8));
 }
 BENCHMARK(BM_CopyBitsUnaligned);
+
+// Codec throughput (DESIGN.md §10): host-side words/s for the frontier
+// bitmap codec at the densities the gate sees in practice — shoulder
+// (0.01), ramp (0.1) and bulge (0.5, where the gate keeps the wire raw
+// but an encode trial may still run). Density is range(1)/1000.
+void BM_CodecEncodeDense(benchmark::State& state) {
+  const std::size_t n = 1ull << static_cast<unsigned>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 1000.0;
+  const auto words = random_frontier_words(n, density, 11);
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(codec::encode_dense(words, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["bytes_per_word"] =
+      static_cast<double>(out.size()) / static_cast<double>(n);
+}
+BENCHMARK(BM_CodecEncodeDense)
+    ->Args({14, 10})
+    ->Args({14, 100})
+    ->Args({14, 500});
+
+void BM_CodecEncodeBitmapSparse(benchmark::State& state) {
+  const std::size_t n = 1ull << static_cast<unsigned>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 1000.0;
+  const auto words = random_frontier_words(n, density, 12);
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(codec::encode_bitmap_sparse(words, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["bytes_per_word"] =
+      static_cast<double>(out.size()) / static_cast<double>(n);
+}
+BENCHMARK(BM_CodecEncodeBitmapSparse)
+    ->Args({14, 10})
+    ->Args({14, 100})
+    ->Args({14, 500});
+
+void BM_CodecDecodeBitmap(benchmark::State& state) {
+  const std::size_t n = 1ull << static_cast<unsigned>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 1000.0;
+  const auto words = random_frontier_words(n, density, 13);
+  std::vector<std::uint8_t> enc;
+  codec::encode_dense(words, enc);
+  std::vector<std::uint64_t> dst(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::decode_bitmap(enc, dst));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CodecDecodeBitmap)
+    ->Args({14, 10})
+    ->Args({14, 100})
+    ->Args({14, 500});
+
+void BM_CodecListRoundTrip(benchmark::State& state) {
+  const std::size_t count = 1ull << static_cast<unsigned>(state.range(0));
+  std::vector<Vertex> list(count);
+  std::mt19937_64 rng(14);
+  for (auto& v : list) v = static_cast<Vertex>(rng() & 0x7fffffff);
+  std::vector<std::uint8_t> enc;
+  std::vector<Vertex> dst;
+  for (auto _ : state) {
+    enc.clear();
+    codec::encode_list(list, enc);
+    dst.clear();
+    benchmark::DoNotOptimize(codec::decode_list(enc, dst));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_CodecListRoundTrip)->Arg(10)->Arg(16);
 
 void BM_RmatGenerate(benchmark::State& state) {
   RmatParams p;

@@ -37,6 +37,7 @@ run bench_fig16_granularity --scale=$((20 + BOOST)) --svg="$OUT"
 run bench_hybrid_vs_pure --scale=$((17 + BOOST))
 run bench_ablation_allgather
 run bench_ablation_2d
+run bench_ablation_compression --scale=$((20 + BOOST)) --svg="$OUT"
 run bench_2d_bfs --scale=$((18 + BOOST))
 run bench_fault_tolerance --scale=$((16 + BOOST))
 run bench_query_engine --scale=$((17 + BOOST)) \

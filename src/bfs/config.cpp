@@ -31,11 +31,25 @@ const char* to_string(Direction d) {
   return "?";
 }
 
+const char* to_string(CodecMode m) {
+  switch (m) {
+    case CodecMode::off: return "off";
+    case CodecMode::gate: return "gate";
+    case CodecMode::force_sparse: return "force-sparse";
+    case CodecMode::force_dense: return "force-dense";
+  }
+  return "?";
+}
+
 std::string Config::name() const {
   std::ostringstream os;
   os << to_string(bind) << "/share-" << to_string(sharing);
   if (parallel_allgather) os << "/par-ag";
   os << "/g" << summary_granularity;
+  if (codec != CodecMode::off) {
+    os << "/codec-" << to_string(codec);
+    if (exchange_chunks > 1) os << "-k" << exchange_chunks;
+  }
   if (direction != Direction::hybrid) os << "/" << to_string(direction);
   return os.str();
 }
@@ -63,6 +77,13 @@ Config par_allgather() {
 Config granularity(std::uint64_t g) {
   Config c = par_allgather();
   c.summary_granularity = g;
+  return c;
+}
+
+Config compressed(std::uint64_t g, int chunks) {
+  Config c = granularity(g);
+  c.codec = CodecMode::gate;
+  c.exchange_chunks = chunks;
   return c;
 }
 

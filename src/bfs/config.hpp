@@ -29,6 +29,12 @@ enum class Sharing {
 /// Forced traversal direction (Section II.A's pure baselines).
 enum class Direction { hybrid, top_down_only, bottom_up_only };
 
+/// Frontier-exchange codec policy (DESIGN.md §10). `gate` re-decides per
+/// level from allreduced measured sparsity via the cost model; the force
+/// modes pin one codec for ablations and tests. `off` is bit- and
+/// byte-identical to the pre-codec exchange path.
+enum class CodecMode { off, gate, force_sparse, force_dense };
+
 struct Config {
   BindMode bind = BindMode::bind_to_socket;
   Sharing sharing = Sharing::none;
@@ -48,12 +54,22 @@ struct Config {
   double alpha = 14.0;
   double beta = 24.0;
 
+  /// Wire codec for the per-level frontier exchanges.
+  CodecMode codec = CodecMode::off;
+  /// Pipeline depth of the exchange: each encoded contribution is split
+  /// into this many chunks so decoding chunk i overlaps chunk i+1 on the
+  /// wire (coll_model::pipelined2_ns). 1 = no pipelining; only takes
+  /// effect when a codec is active (the raw path has no decode stage).
+  int exchange_chunks = 1;
+
   /// Validate invariants; returns an error message or empty.
   std::string validate() const {
     if (summary_granularity < 1) return "summary_granularity must be >= 1";
     if (parallel_allgather && sharing != Sharing::all)
       return "parallel_allgather requires sharing == all";
     if (alpha <= 0.0 || beta <= 0.0) return "alpha/beta must be positive";
+    if (exchange_chunks < 1 || exchange_chunks > 4096)
+      return "exchange_chunks must be in [1, 4096]";
     return {};
   }
 
@@ -63,6 +79,7 @@ struct Config {
 const char* to_string(BindMode b);
 const char* to_string(Sharing s);
 const char* to_string(Direction d);
+const char* to_string(CodecMode m);
 
 // --- canonical variants of the paper's Fig. 9 ---------------------------
 /// "Original": unmodified algorithm (flat allgather, private buffers).
@@ -75,5 +92,8 @@ Config share_all();
 Config par_allgather();
 /// "+ Granularity": par_allgather with the best granularity (256).
 Config granularity(std::uint64_t g = 256);
+/// "+ Codec": granularity ladder rung plus the gated exchange codec and a
+/// chunk-pipelined wire/decode overlap.
+Config compressed(std::uint64_t g = 256, int chunks = 4);
 
 }  // namespace numabfs::bfs

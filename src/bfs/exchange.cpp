@@ -1,6 +1,7 @@
 #include "bfs/exchange.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "runtime/coll_model.hpp"
@@ -8,6 +9,7 @@
 namespace numabfs::bfs {
 
 namespace cm = rt::coll_model;
+namespace codec = graph::codec;
 
 namespace {
 
@@ -83,36 +85,88 @@ void discovered_to_out_bits(rt::Proc& p, DistState& st, const UnitCosts& u,
                u.omp_div);
 }
 
-void exchange_sparse(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
-                     const UnitCosts& u, sim::Phase phase, bool wipe_out,
-                     std::span<const int> parts) {
+SparseExchangeStats exchange_sparse(rt::Proc& p, const graph::DistGraph& dg,
+                                    DistState& st, const UnitCosts& u,
+                                    sim::Phase phase, bool wipe_out,
+                                    std::span<const int> parts) {
   rt::Cluster& c = *p.cluster;
   const faults::FaultInjector* inj = c.injector();
   rt::Comm& world = c.world();
   const int np = c.nranks();
+  bool coded = st.config().codec != CodecMode::off && np > 1;
 
-  const auto& mine = st.discovered(p.rank);
-  world.publish_ptr(p.rank, mine.data());
-  world.publish_val(p.rank, mine.size());
-  // Impersonate adopted partitions: publish their discovered lists into the
-  // dead owners' slots so the dense assembly loop below needs no holes.
-  for (int q : parts) {
-    if (q == p.rank) continue;
-    const auto& theirs = st.discovered(q);
-    world.publish_ptr(q, theirs.data());
-    world.publish_val(q, theirs.size());
+  // Trial-encode each owned partition's discovered list, then gate the
+  // whole level on the *measured* totals: tiny tail/startup lists inflate
+  // under varint headers (a 1-vertex list costs 5 coded bytes vs 4 raw),
+  // so the level publishes coded lists only when the allreduced encoded
+  // volume actually beat raw. Deterministic: every rank sees the same sums.
+  std::uint64_t my_enc = 0, my_raw = 0;
+  const auto encode_part = [&](int q) {
+    const auto& list = st.discovered(q);
+    if (list.empty()) return;  // absence is free raw, 2 bytes encoded
+    auto& buf = st.enc_buf(q);
+    buf.clear();
+    const std::size_t nb = codec::encode_list({list.data(), list.size()}, buf);
+    my_enc += nb;
+    my_raw += list.size() * sizeof(graph::Vertex);
+    p.charge(phase, u.stream_pass_ns(list.size() * sizeof(graph::Vertex) / 8 +
+                                     (nb + 7) / 8));
+  };
+  if (coded) {
+    encode_part(p.rank);
+    for (int q : parts)
+      if (q != p.rank) encode_part(q);
+    const std::uint64_t enc_sum =
+        rt::allreduce_sum(p, world, my_enc, sim::Phase::stall);
+    const std::uint64_t raw_sum =
+        rt::allreduce_sum(p, world, my_raw, sim::Phase::stall);
+    coded = enc_sum < raw_sum;  // encode cost is sunk; bytes decide
   }
+
+  // Publish each owned partition's list — raw, or the delta-varint encoding
+  // from the partition's enc_buf (val then carries *bytes*, and the wire
+  // bytes below are measured from the real encoding). Adopted partitions
+  // are impersonated into the dead owners' slots so the dense assembly
+  // loop below needs no holes.
+  const auto publish_part = [&](int q) {
+    const auto& list = st.discovered(q);
+    if (!coded || list.empty()) {
+      world.publish_ptr(q, list.data());
+      world.publish_val(q, list.size());
+      return;
+    }
+    const auto& buf = st.enc_buf(q);
+    world.publish_ptr(q, buf.data());
+    world.publish_val(q, buf.size());
+  };
+  publish_part(p.rank);
+  for (int q : parts)
+    if (q != p.rank) publish_part(q);
   p.barrier(world, sim::Phase::stall);  // lists ready
 
   auto& frontier = st.frontier(p.rank);
   frontier.clear();
+  SparseExchangeStats stats;
+  stats.coded = coded;
   std::uint64_t intra_bytes = 0, inter_bytes = 0;
   for (int r = 0; r < np; ++r) {
-    const std::uint64_t count = world.val(r);
-    const auto* src = static_cast<const graph::Vertex*>(world.ptr(r));
-    frontier.insert(frontier.end(), src, src + count);
+    std::uint64_t bytes;  // what rides the wire for this contribution
+    std::uint64_t count;
+    if (coded) {
+      bytes = world.val(r);
+      const auto* src = static_cast<const std::uint8_t*>(world.ptr(r));
+      const std::size_t before = frontier.size();
+      if (bytes > 0) codec::decode_list({src, bytes}, frontier);
+      count = frontier.size() - before;
+    } else {
+      count = world.val(r);
+      const auto* src = static_cast<const graph::Vertex*>(world.ptr(r));
+      frontier.insert(frontier.end(), src, src + count);
+      bytes = count * sizeof(graph::Vertex);
+    }
     if (r == p.rank) continue;
-    const std::uint64_t bytes = count * sizeof(graph::Vertex);
+    stats.wire_bytes += bytes;
+    stats.raw_bytes += count * sizeof(graph::Vertex);
     if (c.node_of(r) == p.node)
       intra_bytes += bytes;
     else
@@ -120,6 +174,9 @@ void exchange_sparse(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
   }
   p.prof.counters().bytes_intra_node += intra_bytes;
   p.prof.counters().bytes_inter_node += inter_bytes;
+  p.prof.counters().bytes_raw_equiv += stats.raw_bytes;
+  if (coded)  // decode pass over the received encodings
+    p.charge(phase, u.stream_pass_ns((stats.wire_bytes + stats.raw_bytes) / 8));
 
   const auto& cp = c.params();
   double inter_bw = c.link().nic_flow_bw(1, cm::min_nic_factor(c));
@@ -139,6 +196,7 @@ void exchange_sparse(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
         clear_out_bits_part(p, dg, st, u, sim::Phase::switch_conv, q);
   }
   p.barrier(world, phase);
+  return stats;
 }
 
 ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
@@ -165,18 +223,151 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   const bool degraded = inj != nullptr && inj->any_dead();
   const bool acts_leader =
       degraded ? p.local == inj->lowest_live_local(p.node) : p.is_node_leader();
+  const bool par_plan =
+      st.shared_in() && st.shared_out() && cfg.parallel_allgather && !degraded;
+
+  // Modeled duration of one allgather under the active plan, as a function
+  // of the per-rank chunk size actually on the wire (shared between the
+  // codec gate's estimates and the final charge, so the gate optimizes the
+  // quantity that is charged).
+  const auto plan_time = [&](std::uint64_t chunk_bytes) -> cm::CollTimes {
+    if (!st.shared_in()) {
+      if (cfg.base_algo == rt::AllgatherAlgo::flat_ring)
+        return cm::flat_ring(c, chunk_bytes);
+      const bool rd = cfg.base_algo == rt::AllgatherAlgo::leader_rd;
+      return cm::leader_allgather(c, chunk_bytes, true, true, 1, rd);
+    }
+    if (!st.shared_out()) return cm::leader_allgather(c, chunk_bytes, true, false, 1);
+    if (!par_plan) return cm::leader_allgather(c, chunk_bytes, false, false, 1);
+    return cm::leader_allgather(c, chunk_bytes, false, false, ppn);
+  };
+
+  // Queue chunks one rank assembles — and therefore decodes — per level.
+  const std::uint64_t assemble_chunks =
+      par_plan ? static_cast<std::uint64_t>(c.topo().nodes())
+               : static_cast<std::uint64_t>(np);
+
+  const auto for_owned_parts = [&](auto&& f) {
+    f(p.rank);
+    for (int q : parts)
+      if (q != p.rank) f(q);
+  };
+
+  // --- per-level codec gate (DESIGN.md §10) -----------------------------
+  // Every rank computes the same decision from allreduced measured sparsity
+  // and rank-uniform unit costs — the same SPMD-deterministic pattern as
+  // the MS-BFS kernel chooser. A level near 50% density estimates above the
+  // raw wire cost and stays raw.
+  const int K = std::max(1, cfg.exchange_chunks);
+  codec::Kind kind = codec::Kind::raw;
+  double enc_ns = 0.0;
+  std::uint64_t enc_mean = 0;
+  if (cfg.codec != CodecMode::off && np > 1) {
+    // Frontier chunks are skewed (R-MAT hubs cluster), and every collective
+    // plan moves each chunk once per hop, so the honest per-chunk wire
+    // charge — and the gate's input — is the *mean* encoded chunk, not the
+    // densest one: allreduce the summed popcount / encoded bytes and divide
+    // by the np partitions.
+    std::uint64_t my_pop = 0;
+    int my_parts = 0;
+    for_owned_parts([&](int q) {
+      auto w = st.out_queue(q).words();
+      const std::uint64_t off = static_cast<std::uint64_t>(q) * block_words;
+      for (std::uint64_t i = 0; i < block_words; ++i)
+        my_pop += static_cast<std::uint64_t>(std::popcount(w[off + i]));
+      ++my_parts;
+    });
+    p.charge(phase, u.stream_pass_ns(block_words *
+                                     static_cast<std::uint64_t>(my_parts)));
+    const std::uint64_t mean_pop =
+        rt::allreduce_sum(p, world, my_pop, sim::Phase::stall) /
+        static_cast<std::uint64_t>(np);
+
+    const double enc_est = u.stream_pass_ns(block_words);
+    const double dec_est = u.stream_pass_ns(assemble_chunks * block_words);
+    const double raw_est = plan_time(qchunk_bytes).total_ns;
+    const double dense_est =
+        enc_est +
+        cm::pipelined2_ns(
+            plan_time(codec::dense_estimate_bytes(block_words, mean_pop)).total_ns,
+            dec_est, K);
+    const double sparse_est =
+        enc_est +
+        cm::pipelined2_ns(
+            plan_time(codec::sparse_estimate_bytes(mean_pop, block_bits)).total_ns,
+            dec_est, K);
+
+    // The estimates assume uniform density, but frontier chunks are skewed,
+    // so a level whose *mean* density looks hopeless can still compress on
+    // its sparse chunks (each chunk falls back to raw + 1 at worst). Trial-
+    // encode whenever the analytic estimate lands within 1.5x of raw; the
+    // final pick is then made on the measured bytes, with the (already
+    // charged) encode pass sunk.
+    codec::Kind trial = codec::Kind::raw;
+    switch (cfg.codec) {
+      case CodecMode::force_dense:
+        trial = codec::Kind::dense_bitmap;
+        break;
+      case CodecMode::force_sparse:
+        trial = codec::Kind::sparse_list;
+        break;
+      default:
+        if (std::min(dense_est, sparse_est) < raw_est * 1.5)
+          trial = sparse_est <= dense_est ? codec::Kind::sparse_list
+                                          : codec::Kind::dense_bitmap;
+    }
+
+    if (trial != codec::Kind::raw) {
+      // Encode for real; wire time below is charged on the *measured*
+      // (allreduce-summed) encoded sizes, never on the gate's estimate.
+      std::uint64_t my_enc = 0;
+      for_owned_parts([&](int q) {
+        auto& buf = st.enc_buf(q);
+        buf.clear();
+        auto w = st.out_queue(q).words().subspan(
+            static_cast<std::uint64_t>(q) * block_words, block_words);
+        std::size_t nb;
+        if (trial == codec::Kind::dense_bitmap) {
+          auto guide = st.out_summary(q);
+          nb = codec::encode_dense(w, buf, &guide,
+                                   static_cast<std::uint64_t>(q) * block_bits);
+        } else {
+          nb = codec::encode_bitmap_sparse(w, buf);
+        }
+        my_enc += static_cast<std::uint64_t>(nb);
+        enc_ns += u.stream_pass_ns(block_words + (nb + 7) / 8);
+      });
+      p.charge(phase, enc_ns);
+      enc_mean = (rt::allreduce_sum(p, world, my_enc, sim::Phase::stall) +
+                  static_cast<std::uint64_t>(np) - 1) /
+                 static_cast<std::uint64_t>(np);
+      if (cfg.codec != CodecMode::gate ||
+          cm::pipelined2_ns(plan_time(enc_mean).total_ns, dec_est, K) < raw_est)
+        kind = trial;
+    }
+  }
+  const std::uint64_t wire_chunk =
+      kind == codec::Kind::raw ? qchunk_bytes : enc_mean;
 
   // --- data-plumbing helpers (real movement; time is modeled below) -----
   const auto copy_queue_chunk = [&](graph::BitmapView dst, int src_rank) {
-    auto src = st.out_queue(src_rank).words();
     const std::uint64_t off = static_cast<std::uint64_t>(src_rank) * block_words;
-    std::memcpy(dst.words().data() + off, src.data() + off, block_words * 8);
+    std::uint64_t bytes = block_words * 8;  // raw wire size
+    if (kind == codec::Kind::raw) {
+      auto src = st.out_queue(src_rank).words();
+      std::memcpy(dst.words().data() + off, src.data() + off, block_words * 8);
+    } else {
+      const auto& buf = st.enc_buf(src_rank);
+      codec::decode_bitmap({buf.data(), buf.size()},
+                           dst.words().subspan(off, block_words));
+      bytes = buf.size();
+    }
     if (src_rank == p.rank) return;  // own chunk: no transmission (Eq. (1))
-    const std::uint64_t bytes = block_words * 8;
     if (c.node_of(src_rank) == p.node)
       p.prof.counters().bytes_intra_node += bytes;
     else
       p.prof.counters().bytes_inter_node += bytes;
+    p.prof.counters().bytes_raw_equiv += block_words * 8;
   };
   const auto copy_summary_range = [&](graph::SummaryView dst, int src_rank,
                                       bool atomic) {
@@ -195,41 +386,33 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
     std::memset(w.data(), 0, w.size() * 8);
   };
 
-  p.barrier(world, sim::Phase::stall);  // every rank's out data is ready
+  p.barrier(world, sim::Phase::stall);  // out data (and encodings) ready
 
   // --- modeled durations + real assembly, by plan ------------------------
-  cm::CollTimes qt, ss;
+  // The queue allgather is modeled on `wire_chunk` — the measured encoded
+  // chunk when a codec is active, the raw chunk otherwise. The summary
+  // allgather always rides raw (it is itself the compressed digest).
+  cm::CollTimes qt = plan_time(wire_chunk);
+  cm::CollTimes ss = plan_time(schunk_bytes);
   auto in_q = st.in_queue(p.rank);
   auto in_s = st.in_summary(p.rank);
 
   if (!st.shared_in()) {
     // "Original": private replicas, library allgather over all np ranks.
-    if (cfg.base_algo == rt::AllgatherAlgo::flat_ring) {
-      qt = cm::flat_ring(c, qchunk_bytes);
-      ss = cm::flat_ring(c, schunk_bytes);
-    } else {
-      const bool rd = cfg.base_algo == rt::AllgatherAlgo::leader_rd;
-      qt = cm::leader_allgather(c, qchunk_bytes, true, true, 1, rd);
-      ss = cm::leader_allgather(c, schunk_bytes, true, true, 1, rd);
-    }
     for (int r = 0; r < np; ++r) copy_queue_chunk(in_q, r);
     memset_summary(in_s);
     for (int r = 0; r < np; ++r) copy_summary_range(in_s, r, false);
   } else if (!st.shared_out()) {
     // "+ Share in_queue": gather to leader, leaders ring directly into the
     // node-shared in_queue; the broadcast step is gone (Fig. 5b).
-    qt = cm::leader_allgather(c, qchunk_bytes, true, false, 1);
-    ss = cm::leader_allgather(c, schunk_bytes, true, false, 1);
     if (acts_leader) {
       for (int r = 0; r < np; ++r) copy_queue_chunk(in_q, r);
       memset_summary(in_s);
       for (int r = 0; r < np; ++r) copy_summary_range(in_s, r, false);
     }
-  } else if (!cfg.parallel_allgather || degraded) {
+  } else if (!par_plan) {
     // "+ Share all": out slabs are shared too; the gather step is gone.
     // (Also the degraded fallback for the parallel plan below.)
-    qt = cm::leader_allgather(c, qchunk_bytes, false, false, 1);
-    ss = cm::leader_allgather(c, schunk_bytes, false, false, 1);
     if (acts_leader) {
       for (int r = 0; r < np; ++r) copy_queue_chunk(in_q, r);
       memset_summary(in_s);
@@ -238,8 +421,6 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   } else {
     // "+ Par allgather": ppn subgroups ring concurrently (Fig. 7), each
     // assembling its color's slice of every node chunk in place.
-    qt = cm::leader_allgather(c, qchunk_bytes, false, false, ppn);
-    ss = cm::leader_allgather(c, schunk_bytes, false, false, ppn);
     if (p.is_node_leader()) memset_summary(in_s);
     p.barrier(node, phase);  // summary zeroed before OR-merges
     for (int m = 0; m < c.topo().nodes(); ++m) {
@@ -249,13 +430,25 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
     }
   }
 
-  double total_ns = qt.total_ns + ss.total_ns;
   if (inj != nullptr) {
     // Degraded fabric stretches the inter-node stages of both allgathers.
     const double lf = inj->min_link_factor(p.clock.now_ns());
-    total_ns += (qt.inter_ns + ss.inter_ns) * (1.0 / lf - 1.0);
+    qt.total_ns += qt.inter_ns * (1.0 / lf - 1.0);
+    ss.total_ns += ss.inter_ns * (1.0 / lf - 1.0);
     qt.inter_ns /= lf;
     ss.inter_ns /= lf;
+  }
+  double total_ns = qt.total_ns + ss.total_ns;
+  double dec_ns = 0.0;
+  double overlap_saved = 0.0;
+  if (kind != codec::Kind::raw) {
+    // Chunk-pipelined overlap: the decode of wire chunk i proceeds while
+    // chunk i+1 is in flight (K chunks; K=1 degrades to sequential).
+    dec_ns = u.stream_pass_ns(assemble_chunks * block_words);
+    const double seq_ns = total_ns + dec_ns;
+    total_ns = cm::pipelined2_ns(total_ns, dec_ns, K);
+    overlap_saved = seq_ns - total_ns;
+    p.prof.add_overlap_saved(overlap_saved);
   }
   p.charge(phase, total_ns);
   p.barrier(world, phase);  // the collective completes together
@@ -271,6 +464,12 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   ex.bcast_ns = qt.bcast_ns + ss.bcast_ns;
   ex.intra_overlapped_ns = qt.intra_overlapped_ns + ss.intra_overlapped_ns;
   ex.total_ns = total_ns;  // includes any link-degradation stretch
+  ex.codec = kind;
+  ex.encode_ns = enc_ns;
+  ex.decode_ns = dec_ns;
+  ex.overlap_saved_ns = overlap_saved;
+  ex.chunk_raw_bytes = qchunk_bytes;
+  ex.chunk_wire_bytes = wire_chunk;
   return ex;
 }
 

@@ -18,18 +18,34 @@
 
 #include "bfs/costs.hpp"
 #include "bfs/state.hpp"
+#include "graph/codec.hpp"
 #include "graph/dist_graph.hpp"
 #include "runtime/cluster.hpp"
 
 namespace numabfs::bfs {
 
-/// Breakdown of the modeled exchange duration (for Figs. 6/12/13).
+/// Breakdown of the modeled exchange duration (for Figs. 6/12/13), plus the
+/// codec outcome when Config::codec is active (DESIGN.md §10).
 struct ExchangeTimes {
   double gather_ns = 0;
   double inter_ns = 0;
   double bcast_ns = 0;
   double intra_overlapped_ns = 0;
   double total_ns = 0;
+
+  graph::codec::Kind codec = graph::codec::Kind::raw;  ///< gate's pick
+  double encode_ns = 0;         ///< modeled codec encode cost (this rank)
+  double decode_ns = 0;         ///< modeled codec decode cost
+  double overlap_saved_ns = 0;  ///< wire/decode pipelining gain
+  std::uint64_t chunk_raw_bytes = 0;   ///< per-rank raw contribution
+  std::uint64_t chunk_wire_bytes = 0;  ///< what actually rides the wire
+};
+
+/// What the sparse (top-down) exchange moved, for per-level accounting.
+struct SparseExchangeStats {
+  std::uint64_t wire_bytes = 0;  ///< bytes this rank received off-rank
+  std::uint64_t raw_bytes = 0;   ///< their raw (uncoded) equivalent
+  bool coded = false;            ///< lists rode the delta-varint codec
 };
 
 /// Bitmap exchange (used when the *next* level is bottom-up): the two
@@ -49,9 +65,10 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
 /// cost concentrates in the bottom-up phases. `wipe_out` additionally
 /// wipes the out bitmaps (set when the level that produced the frontier
 /// ran bottom-up, whose kernel marks them). `parts` as above.
-void exchange_sparse(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
-                     const UnitCosts& u, sim::Phase phase, bool wipe_out,
-                     std::span<const int> parts = {});
+SparseExchangeStats exchange_sparse(rt::Proc& p, const graph::DistGraph& dg,
+                                    DistState& st, const UnitCosts& u,
+                                    sim::Phase phase, bool wipe_out,
+                                    std::span<const int> parts = {});
 
 /// Direction-switch conversion (td -> bu): materialize the out_queue /
 /// out_queue_summary bits from this level's discovered list, so the bitmap

@@ -135,11 +135,13 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
     std::uint64_t visited = 1;  // root
     std::vector<std::uint64_t> frontier_sizes;  // per level (input frontier)
     std::vector<std::uint64_t> discovered;      // per level
+    std::vector<int> ex_codec;  // codec of the exchange after each level
   } shared;
 
   // Host-side per-rank, per-level measurements (no virtual-time impact).
   struct RankLevel {
     std::uint64_t edges = 0, skips = 0, probes = 0;
+    std::uint64_t wire = 0, wire_raw = 0;
     double comp_ns = 0, comm_ns = 0;
   };
   std::vector<std::vector<RankLevel>> rank_levels(
@@ -212,6 +214,8 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
       const std::uint64_t edges0 = cnt0.edges_scanned;
       const std::uint64_t skips0 = cnt0.summary_zero_skips;
       const std::uint64_t probes0 = cnt0.summary_probes;
+      const std::uint64_t wire0 = cnt0.bytes_intra_node + cnt0.bytes_inter_node;
+      const std::uint64_t raw0 = cnt0.bytes_raw_equiv;
       const double comp0 = p.prof.get(sim::Phase::td_comp) +
                            p.prof.get(sim::Phase::bu_comp);
       const double comm0 = p.prof.comm_ns();
@@ -268,12 +272,15 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
         rl.edges = cnt1.edges_scanned - edges0;
         rl.skips = cnt1.summary_zero_skips - skips0;
         rl.probes = cnt1.summary_probes - probes0;
+        rl.wire = cnt1.bytes_intra_node + cnt1.bytes_inter_node - wire0;
+        rl.wire_raw = cnt1.bytes_raw_equiv - raw0;
         rl.comp_ns = p.prof.get(sim::Phase::td_comp) +
                      p.prof.get(sim::Phase::bu_comp) - comp0;
         rl.comm_ns = p.prof.comm_ns() - comm0;
         rank_levels[static_cast<size_t>(p.rank)].push_back(rl);
       };
       if (nf == 0) {
+        if (p.rank == recorder) shared.ex_codec.push_back(-1);  // no exchange
         record_level();
         break;
       }
@@ -301,14 +308,23 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
         // ("Switch" in Fig. 11), then run the two allgathers of Fig. 1.
         if (dir == 0)
           for (int q : parts) discovered_to_out_bits(p, st, u, q);
-        exchange_frontier(p, dg, st, u, sim::Phase::bu_comm, parts);
-        if (p.rank == recorder) shared.bu_ex++;
+        const ExchangeTimes ex =
+            exchange_frontier(p, dg, st, u, sim::Phase::bu_comm, parts);
+        if (p.rank == recorder) {
+          shared.bu_ex++;
+          shared.ex_codec.push_back(static_cast<int>(ex.codec));
+        }
       } else {
         // Next level is top-down: the sparse list exchange suffices; when
         // leaving bottom-up, the stale out bitmaps are wiped on the way.
-        exchange_sparse(p, dg, st, u, sim::Phase::td_comm, /*wipe_out=*/dir == 1,
-                        parts);
-        if (p.rank == recorder) shared.td_ex++;
+        const SparseExchangeStats sx = exchange_sparse(
+            p, dg, st, u, sim::Phase::td_comm, /*wipe_out=*/dir == 1, parts);
+        if (p.rank == recorder) {
+          shared.td_ex++;
+          shared.ex_codec.push_back(
+              sx.coded ? static_cast<int>(graph::codec::Kind::sparse_list)
+                       : static_cast<int>(graph::codec::Kind::raw));
+        }
       }
       record_level();
       dir = next;
@@ -357,11 +373,14 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
     t.direction = shared.directions[lvl];
     t.frontier_vertices = shared.frontier_sizes[lvl];
     t.discovered = shared.discovered[lvl];
+    if (lvl < shared.ex_codec.size()) t.exchange_codec = shared.ex_codec[lvl];
     for (const auto& rl : rank_levels) {
       if (lvl >= rl.size()) continue;
       t.edges_scanned += rl[lvl].edges;
       t.summary_zero_skips += rl[lvl].skips;
       t.summary_probes += rl[lvl].probes;
+      t.wire_bytes += rl[lvl].wire;
+      t.wire_raw_bytes += rl[lvl].wire_raw;
       t.comp_ns += rl[lvl].comp_ns;
       t.comm_ns += rl[lvl].comm_ns;
     }

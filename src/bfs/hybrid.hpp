@@ -30,6 +30,21 @@ struct LevelTrace {
   double comp_ns = 0;  ///< mean over ranks
   double comm_ns = 0;  ///< mean over ranks (exchange after this level)
 
+  /// Codec the exchange after this level rode: graph::codec::Kind as int
+  /// (0 raw, 1 sparse, 2 dense); -1 for the final level (no exchange).
+  int exchange_codec = -1;
+  /// Measured wire bytes of this level's exchange, summed over ranks, and
+  /// what they would have been uncoded. Equal when the codec is off.
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_raw_bytes = 0;
+
+  /// Measured compression of this level's exchange (1.0 = none).
+  double wire_reduction() const {
+    return wire_bytes > 0 ? static_cast<double>(wire_raw_bytes) /
+                                static_cast<double>(wire_bytes)
+                          : 1.0;
+  }
+
   double frontier_density(std::uint64_t n) const {
     return n ? static_cast<double>(frontier_vertices) /
                    static_cast<double>(n)

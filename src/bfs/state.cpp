@@ -68,6 +68,7 @@ DistState::DistState(const graph::DistGraph& dg, const Config& cfg, int nodes,
   unvisited_edges_.assign(np, 0);
   frontier_.resize(np);
   discovered_.resize(np);
+  enc_buf_.resize(np);
   for (int r = 0; r < np; ++r) {
     const auto& lg = dg.locals[static_cast<size_t>(r)];
     visited_.emplace_back(lg.owned() > 0 ? lg.owned() : 1);

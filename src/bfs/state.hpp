@@ -69,6 +69,13 @@ class DistState {
   /// Owned vertices discovered by this rank in the current level.
   std::vector<graph::Vertex>& discovered(int rank) { return discovered_[rank]; }
 
+  // --- exchange codec scratch (DESIGN.md §10) ---------------------------
+  /// Partition `part`'s encoded exchange contribution. Written by the
+  /// partition's current owner (its rank, or the adopter after a crash)
+  /// between the encode step and the assembly barrier; wire bytes are
+  /// *measured* from its real size.
+  std::vector<std::uint8_t>& enc_buf(int part) { return enc_buf_[part]; }
+
  private:
   Config cfg_;
   int nodes_;
@@ -92,6 +99,7 @@ class DistState {
   std::vector<std::uint64_t> unvisited_edges_;
   std::vector<std::vector<graph::Vertex>> frontier_;
   std::vector<std::vector<graph::Vertex>> discovered_;
+  std::vector<std::vector<std::uint8_t>> enc_buf_;
 };
 
 }  // namespace numabfs::bfs

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "faults/errors.hpp"
+#include "graph/codec.hpp"
 #include "runtime/allgather.hpp"
 #include "runtime/coll_model.hpp"
 
@@ -290,14 +291,37 @@ void wave_exchange(rt::Proc& p, const graph::DistGraph& dg, WaveState& ws,
   const sim::Phase phase = sim::Phase::bu_comm;
 
   // Measure the sparsity of the owned chunks (a real count on the real
-  // words; one streaming pass each).
+  // words; one streaming pass each). With the exchange codec on, the same
+  // pass really builds and dense-encodes the presence bitmap of the wire
+  // format, so the presence component rides *measured* encoded bytes.
+  const bool coded = cfg.codec != bfs::CodecMode::off && np > 1;
   std::uint64_t my_nnz = 0;
+  std::uint64_t my_penc = 0;
+  std::vector<std::uint64_t> presence;
+  std::vector<std::uint8_t> pbuf;
+  if (coded) presence.resize((block + 63) / 64);
   for (int q : parts) {
     auto out = ws.out(q);
     std::uint64_t nnz = 0;
-    for (std::uint64_t w : out) nnz += (w & active) != 0;
+    if (coded) {
+      std::fill(presence.begin(), presence.end(), 0);
+      for (std::uint64_t v = 0; v < block; ++v) {
+        if ((out[v] & active) != 0) {
+          ++nnz;
+          presence[v >> 6] |= 1ull << (v & 63);
+        }
+      }
+      pbuf.clear();
+      const std::size_t nb =
+          graph::codec::encode_dense({presence.data(), presence.size()}, pbuf);
+      my_penc += static_cast<std::uint64_t>(nb);
+      p.charge(phase,
+               u.stream_pass_ns(block + presence.size() + (nb + 7) / 8));
+    } else {
+      for (std::uint64_t w : out) nnz += (w & active) != 0;
+      p.charge(phase, u.stream_pass_ns(block));
+    }
     my_nnz = std::max(my_nnz, nnz);
-    p.charge(phase, u.stream_pass_ns(block));
   }
   const std::uint64_t max_nnz =
       rt::allreduce_max(p, world, my_nnz, sim::Phase::stall);
@@ -307,8 +331,24 @@ void wave_exchange(rt::Proc& p, const graph::DistGraph& dg, WaveState& ws,
   const std::uint64_t g = cfg.summary_granularity;
   const std::uint64_t sum_bytes =
       (graph::SummaryView::summary_bits_for(block, g) + 7) / 8;
+  const std::uint64_t presence_raw = block / 8;
+  std::uint64_t presence_bytes = presence_raw;
+  if (coded) {
+    // Mean over the np partition encodings (each chunk transits once per
+    // hop, so the honest charge is the summed volume divided out), same as
+    // the bitmap exchange. Measured gate: the codec rides only when the
+    // real encodings won on average.
+    const std::uint64_t enc_mean =
+        (rt::allreduce_sum(p, world, my_penc, sim::Phase::stall) +
+         static_cast<std::uint64_t>(np) - 1) /
+        static_cast<std::uint64_t>(np);
+    if (enc_mean < presence_raw) presence_bytes = enc_mean;
+  }
+  const bool presence_coded = presence_bytes < presence_raw;
   const std::uint64_t chunk_bytes =
-      block / 8 + sum_bytes + max_nnz * lane_bytes;
+      presence_bytes + sum_bytes + max_nnz * lane_bytes;
+  const std::uint64_t raw_chunk_bytes =
+      presence_raw + sum_bytes + max_nnz * lane_bytes;
 
   const bool degraded = inj != nullptr && inj->any_dead();
   const bool acts_leader =
@@ -323,6 +363,7 @@ void wave_exchange(rt::Proc& p, const graph::DistGraph& dg, WaveState& ws,
       p.prof.counters().bytes_intra_node += chunk_bytes;
     else
       p.prof.counters().bytes_inter_node += chunk_bytes;
+    p.prof.counters().bytes_raw_equiv += raw_chunk_bytes;
   };
   // Merge partition `src_part`'s out summary into the replica's frontier
   // summary. A local group maps into at most two destination groups (when
@@ -389,6 +430,20 @@ void wave_exchange(rt::Proc& p, const graph::DistGraph& dg, WaveState& ws,
     // A degraded fabric stretches the inter-node stage.
     const double lf = inj->min_link_factor(p.clock.now_ns());
     total_ns += qt.inter_ns * (1.0 / lf - 1.0);
+  }
+  if (presence_coded) {
+    // Chunk-pipelined overlap of the presence-bitmap decode with the wire
+    // (coll_model::pipelined2_ns), as in the hybrid exchange.
+    const bool par_plan =
+        ws.shared_frontier() && cfg.parallel_allgather && !degraded;
+    const std::uint64_t dec_chunks =
+        par_plan ? static_cast<std::uint64_t>(c.topo().nodes())
+                 : static_cast<std::uint64_t>(np);
+    const double dec_ns = u.stream_pass_ns(dec_chunks * ((block + 63) / 64));
+    const double seq_ns = total_ns + dec_ns;
+    total_ns = cm::pipelined2_ns(total_ns, dec_ns,
+                                 std::max(1, cfg.exchange_chunks));
+    p.prof.add_overlap_saved(seq_ns - total_ns);
   }
   p.charge(phase, total_ns);
   p.barrier(world, phase);  // the collective completes together

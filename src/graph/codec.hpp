@@ -1,0 +1,113 @@
+#pragma once
+/// \file codec.hpp
+/// Frontier-exchange codecs: the wire formats the communication layer can
+/// choose between per level (see bfs/exchange and DESIGN.md §10).
+///
+/// Two real encoders over real bytes:
+///  - a *dense bitmap* codec (zero-word run elision + byte-masked literal
+///    words) for the `out_queue` chunks of bottom-up exchanges, optionally
+///    guided by the chunk's summary bitmap to skip provably-zero regions;
+///  - a *sparse* codec, either set-bit positions as delta varints (bitmap
+///    input) or a zigzag-delta varint list (discovered-vertex lists, whose
+///    order must be preserved exactly).
+///
+/// Every encoding starts with one mode byte; encoders that would exceed the
+/// raw size fall back to an embedded raw mode, so the worst case is bounded
+/// by raw + header. Decoders reproduce the input bit-for-bit — the
+/// communication layer's honesty rule (wire time charged on *measured*
+/// encoded bytes, never on an assumed ratio) depends on it, and the codec
+/// tests fuzz the round trip across the density range.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace numabfs::graph {
+class SummaryView;
+}
+
+namespace numabfs::graph::codec {
+
+/// Wire-format family a frontier exchange picked for one level.
+enum class Kind : int {
+  raw = 0,           ///< unencoded words/lists (the pre-codec path)
+  sparse_list = 1,   ///< delta-varint positions / zigzag-delta lists
+  dense_bitmap = 2,  ///< zero-elision + word-RLE bitmap encoding
+};
+
+const char* to_string(Kind k);
+
+/// Bytes of the LEB128 varint encoding of `v` (1..10).
+std::size_t varint_len(std::uint64_t v);
+
+/// Append the LEB128 varint encoding of `v`.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Read one varint at `pos`; stores it in `v` and returns the new position.
+/// Throws std::invalid_argument on truncated or oversized input.
+std::size_t get_varint(std::span<const std::uint8_t> in, std::size_t pos,
+                       std::uint64_t& v);
+
+// --- bitmap codecs ------------------------------------------------------
+// Both encoders append one self-describing encoding of `words` to `out`
+// and return the bytes appended; `decode_bitmap` inverts either (and the
+// embedded raw fallback), so a receiver needs no side channel beyond the
+// word count it already knows from the partition geometry.
+
+/// Dense encoding: mode byte, then alternating (zero-run, literal-run)
+/// varint word counts; each literal word is a byte-presence mask plus its
+/// nonzero bytes. `guide`, when given, is a summary whose zero bits prove
+/// the covered source bits zero; `words` starts at absolute bit
+/// `guide_base_bit` of the summarized range, so the encoder can extend
+/// zero runs without reading the (cache-hostile) words a zero summary bit
+/// covers — output is identical either way. Falls back to embedded raw
+/// when tokens would exceed it: appended size <= words.size() * 8 + 1.
+std::size_t encode_dense(std::span<const std::uint64_t> words,
+                         std::vector<std::uint8_t>& out,
+                         const SummaryView* guide = nullptr,
+                         std::uint64_t guide_base_bit = 0);
+
+/// Sparse bitmap encoding: mode byte, varint set-bit count, then the first
+/// set position and successive gaps as varints. Same raw-fallback bound.
+std::size_t encode_bitmap_sparse(std::span<const std::uint64_t> words,
+                                 std::vector<std::uint8_t>& out);
+
+/// Decode one bitmap encoding (either encoder's output, any mode) into
+/// exactly `words.size()` words, overwriting them. Returns bytes consumed.
+/// Throws std::invalid_argument on malformed input.
+std::size_t decode_bitmap(std::span<const std::uint8_t> in,
+                          std::span<std::uint64_t> words);
+
+// --- vertex-list codec --------------------------------------------------
+
+/// Encode a vertex list preserving order: mode byte, varint count, first
+/// value, then zigzag-encoded deltas (ascending lists cost ~1 byte per
+/// small gap; arbitrary order still round-trips). Falls back to embedded
+/// raw (little-endian 4-byte vertices) when varints would exceed it:
+/// appended size <= 4 * list.size() + kListHeaderMax.
+std::size_t encode_list(std::span<const Vertex> list,
+                        std::vector<std::uint8_t>& out);
+
+/// Upper bound on encode_list overhead beyond the raw payload.
+inline constexpr std::size_t kListHeaderMax = 11;  // mode + varint count
+
+/// Decode one list encoding, *appending* the vertices to `out` in their
+/// original order. Returns bytes consumed; throws on malformed input.
+std::size_t decode_list(std::span<const std::uint8_t> in,
+                        std::vector<Vertex>& out);
+
+// --- analytic size estimates (gate inputs; no encode performed) ---------
+
+/// Expected encode_dense output for a `words`-word bitmap with `set_bits`
+/// bits set uniformly at random. Clamped to the raw-fallback bound.
+std::uint64_t dense_estimate_bytes(std::uint64_t words,
+                                   std::uint64_t set_bits);
+
+/// Expected encode_bitmap_sparse output for `set_bits` set bits spread over
+/// `covered_bits` positions. Clamped to the raw-fallback bound.
+std::uint64_t sparse_estimate_bytes(std::uint64_t set_bits,
+                                    std::uint64_t covered_bits);
+
+}  // namespace numabfs::graph::codec

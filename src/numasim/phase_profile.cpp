@@ -28,6 +28,7 @@ Counters& Counters::operator+=(const Counters& o) {
   queue_writes += o.queue_writes;
   bytes_intra_node += o.bytes_intra_node;
   bytes_inter_node += o.bytes_inter_node;
+  bytes_raw_equiv += o.bytes_raw_equiv;
   vertices_visited += o.vertices_visited;
   return *this;
 }
@@ -41,22 +42,26 @@ double PhaseProfile::total_ns() const {
 void PhaseProfile::clear() {
   ns_.fill(0.0);
   counters_ = Counters{};
+  overlap_saved_ns_ = 0.0;
 }
 
 PhaseProfile& PhaseProfile::operator+=(const PhaseProfile& o) {
   for (size_t i = 0; i < ns_.size(); ++i) ns_[i] += o.ns_[i];
   counters_ += o.counters_;
+  overlap_saved_ns_ += o.overlap_saved_ns_;
   return *this;
 }
 
 void PhaseProfile::max_with(const PhaseProfile& o) {
   for (size_t i = 0; i < ns_.size(); ++i) ns_[i] = std::max(ns_[i], o.ns_[i]);
   counters_ += o.counters_;
+  overlap_saved_ns_ = std::max(overlap_saved_ns_, o.overlap_saved_ns_);
 }
 
 PhaseProfile PhaseProfile::scaled(double f) const {
   PhaseProfile r = *this;
   for (double& v : r.ns_) v *= f;
+  r.overlap_saved_ns_ *= f;
   return r;
 }
 
@@ -71,6 +76,8 @@ std::string PhaseProfile::breakdown(double total_override_ns) const {
     os << to_string(static_cast<Phase>(i)) << "=" << v / 1e6 << "ms("
        << (tot > 0 ? 100.0 * v / tot : 0.0) << "%) ";
   }
+  if (overlap_saved_ns_ > 0.0)
+    os << "overlap_saved=" << overlap_saved_ns_ / 1e6 << "ms ";
   return os.str();
 }
 

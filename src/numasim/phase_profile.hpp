@@ -36,6 +36,12 @@ struct Counters {
   std::uint64_t queue_writes = 0;        ///< out_queue/pred updates
   std::uint64_t bytes_intra_node = 0;    ///< comm bytes moved inside nodes
   std::uint64_t bytes_inter_node = 0;    ///< comm bytes crossing the network
+  /// What bytes_intra_node + bytes_inter_node would have been without the
+  /// exchange codec (DESIGN.md §10). Every site that counts wire bytes also
+  /// counts its raw equivalent, so codec-off runs satisfy
+  /// bytes_raw_equiv == bytes_intra_node + bytes_inter_node exactly, and
+  /// codec-on runs expose the *measured* compression ratio.
+  std::uint64_t bytes_raw_equiv = 0;
   std::uint64_t vertices_visited = 0;
 
   Counters& operator+=(const Counters& o);
@@ -53,6 +59,12 @@ class PhaseProfile {
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
 
+  /// Modeled time the chunk-pipelined exchange saved versus running its
+  /// wire and codec stages back-to-back (kept separate so Fig. 11-style
+  /// breakdowns remain truthful about what was charged).
+  void add_overlap_saved(double ns) { overlap_saved_ns_ += ns; }
+  double overlap_saved_ns() const { return overlap_saved_ns_; }
+
   void clear();
   /// Element-wise sum (used to average over ranks / roots).
   PhaseProfile& operator+=(const PhaseProfile& o);
@@ -65,6 +77,7 @@ class PhaseProfile {
  private:
   std::array<double, static_cast<int>(Phase::kCount)> ns_{};
   Counters counters_{};
+  double overlap_saved_ns_ = 0.0;
 };
 
 }  // namespace numabfs::sim

@@ -110,6 +110,7 @@ coll_model::CollTimes allgather(Proc& p, Comm& comm,
         p.prof.counters().bytes_inter_node += bytes;
       else
         p.prof.counters().bytes_intra_node += bytes;
+      p.prof.counters().bytes_raw_equiv += bytes;
     }
     if (inj == nullptr || i == idx || !inter) {
       std::memcpy(out, src, bytes);

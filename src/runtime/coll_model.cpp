@@ -140,6 +140,12 @@ double allreduce_scalar_ns(const Cluster& c, int group_size) {
   return 2.0 * rounds * c.params().nic_msg_latency_ns;
 }
 
+double pipelined2_ns(double a_ns, double b_ns, int chunks) {
+  if (chunks <= 1) return a_ns + b_ns;
+  const double k = static_cast<double>(chunks);
+  return a_ns / k + (k - 1.0) * std::max(a_ns, b_ns) / k + b_ns / k;
+}
+
 std::uint64_t allgather_volume_bytes(std::uint64_t total_bytes, int np) {
   return total_bytes * static_cast<std::uint64_t>(np > 0 ? np - 1 : 0);
 }

@@ -81,6 +81,14 @@ CollTimes leader_allgather_overlapped(const Cluster& c,
 /// Latency of an allreduce of one scalar over `group_size` ranks.
 double allreduce_scalar_ns(const Cluster& c, int group_size);
 
+/// Duration of two dependent stages (e.g. wire transfer then decode, each
+/// taking `a_ns`/`b_ns` in full) pipelined over `chunks` equal pieces:
+/// stage-b work on chunk i overlaps stage-a work on chunk i+1, so
+///   total = a/k + (k-1) * max(a, b)/k + b/k
+/// (fill + steady-state + drain). chunks <= 1 degrades to a + b; more
+/// chunks converge to max(a, b) plus the fill/drain of one chunk.
+double pipelined2_ns(double a_ns, double b_ns, int chunks);
+
 /// Total bytes transmitted by an allgather of total payload m over np
 /// processes — the paper's Eq. (1): m * (np - 1).
 std::uint64_t allgather_volume_bytes(std::uint64_t total_bytes, int np);

@@ -53,6 +53,7 @@ void PostOffice::send(Proc& from, int to, std::span<const std::uint64_t> payload
            c.link().shm_flow_bw(flows);
       from.prof.counters().bytes_intra_node += bytes;
     }
+    from.prof.counters().bytes_raw_equiv += bytes;
 
     // Drop/corrupt coins model the NIC; intra-node shared-memory copies are
     // reliable (the paper's mmap'd buffers don't traverse the fabric).
