@@ -100,11 +100,13 @@ int main(int argc, char** argv) {
 
   harness::Table t({"variant", "TEPS", "vs Par allg", "wire MB", "raw MB",
                     "reduction", "overlap saved"});
+  obs::Registry reg;
   double par_teps = 0, gran_teps = 0, best_gate = 0;
   WireStats best_gate_stats;
   for (const auto& row : rows) {
     const harness::EvalResult r = e.run(row.cfg, roots);
     const WireStats s = wire_stats(r);
+    bench::record_eval(reg, "ablation." + bench::slug(row.name), r);
     if (par_teps == 0) par_teps = r.harmonic_teps;
     if (row.name.rfind("+ Granularity", 0) == 0) gran_teps = r.harmonic_teps;
     if (row.name.rfind("codec=gate", 0) == 0 && r.harmonic_teps > best_gate) {
@@ -198,5 +200,6 @@ int main(int argc, char** argv) {
     chart.write_lines(path);
     std::cout << "\nwrote " << path << "\n";
   }
+  bench::write_metrics(opt, reg);
   return 0;
 }

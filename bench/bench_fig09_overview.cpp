@@ -29,11 +29,15 @@ int main(int argc, char** argv) {
   harness::Table t({"variant", "TEPS", "vs ppn=1", "vs previous"});
 
   // Baseline: Original with one process per node, interleaved.
+  obs::Registry reg;
+
   harness::ExperimentOptions eo1;
   eo1.nodes = nodes;
   eo1.ppn = 1;
   harness::Experiment e1(bundle, eo1);
-  const double base = e1.run(bench::ppn1_interleave(), roots).harmonic_teps;
+  const harness::EvalResult r1 = e1.run(bench::ppn1_interleave(), roots);
+  const double base = r1.harmonic_teps;
+  bench::record_eval(reg, "fig09.original_ppn1", r1);
   t.row({"Original.ppn=1", harness::Table::gteps(base), "1.00x", "-"});
 
   harness::ExperimentOptions eo8;
@@ -42,13 +46,28 @@ int main(int argc, char** argv) {
   harness::Experiment e8(bundle, eo8);
   double prev = base;
   for (const auto& nc : bench::fig9_ladder(best_g)) {
-    const double teps = e8.run(nc.cfg, roots).harmonic_teps;
+    const harness::EvalResult r = e8.run(nc.cfg, roots);
+    const double teps = r.harmonic_teps;
+    bench::record_eval(reg, "fig09." + bench::slug(nc.name), r);
     t.row({nc.name, harness::Table::gteps(teps),
            harness::Table::fmt(teps / base, 2) + "x",
            "+" + harness::Table::fmt((teps / prev - 1.0) * 100.0, 1) + "%"});
     prev = teps;
   }
   t.print(std::cout);
+  bench::write_metrics(opt, reg);
+
+  if (opt.has("trace")) {
+    // One clean timeline: a single root under the best variant, on a fresh
+    // cluster so earlier runs' clock resets don't overlay the spans.
+    harness::ExperimentOptions eot;
+    eot.nodes = nodes;
+    eot.ppn = 8;
+    harness::Experiment et(bundle, eot);
+    auto tr = bench::make_tracer(opt, et.cluster());
+    et.run(bench::fig9_ladder(best_g).back().cfg, 1);
+    bench::write_trace(opt, tr);
+  }
 
   if (opt.has("svg")) {
     harness::SvgChart chart("Fig. 9 — overview of all optimizations",

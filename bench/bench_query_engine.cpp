@@ -93,8 +93,16 @@ int main(int argc, char** argv) {
     }
   };
   e.cluster().set_fault_injector(injector);
+  obs::Registry reg;
+  // Trace only the Part-1 burst: one batch through the engine gives a clean
+  // admission -> batch.form -> wave timeline; the Part-2 sweep reuses the
+  // cluster and would overlay dozens of waves on the same tracks.
+  auto tracer = bench::make_tracer(opt, e.cluster());
   engine::QueryEngine eng(e.cluster(), e.dist(), cfg, ec);
   const engine::EngineReport one_wave = eng.serve(burst_qs);
+  bench::write_trace(opt, tracer);
+  if (tracer != nullptr) e.cluster().set_tracer(nullptr);
+  bench::record_engine(reg, "qe.one_wave", one_wave);
 
   double hybrid_sum_ns = 0;
   sim::PhaseProfile hybrid_prof;
@@ -103,6 +111,8 @@ int main(int argc, char** argv) {
     hybrid_sum_ns += r.time_ns;
     hybrid_prof += r.profile_avg;
   }
+  reg.gauge("qe.hybrid.total_ns").set(hybrid_sum_ns);
+  reg.gauge("qe.amortization.speedup").set(hybrid_sum_ns / one_wave.total_ns);
 
   harness::Table amort({"serving mode", "total time", "per query",
                         "speedup", "lanes valid"});
@@ -149,6 +159,11 @@ int main(int argc, char** argv) {
       engine::QueryEngine se(e.cluster(), e.dist(), cfg, sec);
       const engine::EngineReport r = se.serve(qs);
 
+      bench::record_engine(reg,
+                           "qe.sweep.b" + std::to_string(bsz) + ".gap" +
+                               std::to_string(static_cast<long>(gap / 1000)) +
+                               "us",
+                           r);
       p95[gi].push_back(r.p95_latency_ns);
       sweep.row({std::to_string(bsz), harness::Table::ms(gap),
                  std::to_string(r.waves),
@@ -180,5 +195,6 @@ int main(int argc, char** argv) {
     chart.write_lines(svg);
     std::cout << "wrote " << svg << "\n";
   }
+  bench::write_metrics(opt, reg);
   return 0;
 }

@@ -4,12 +4,17 @@
 /// or figure of Cui et al. (CLUSTER 2012) and prints the same rows/series
 /// the paper reports, in *virtual* (model) time — see DESIGN.md §5.
 
+#include <cctype>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "engine/engine.hpp"
 #include "harness/graph500.hpp"
 #include "harness/options.hpp"
 #include "harness/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace numabfs::bench {
 
@@ -45,6 +50,89 @@ inline bfs::Config ppn1_interleave() {
   bfs::Config c = bfs::original();
   c.bind = bfs::BindMode::interleave;
   return c;
+}
+
+// --- observability plumbing (--metrics=<path>, --trace=<path>) ----------
+// Every value recorded here is virtual time or a pure count, so the JSON
+// is bit-reproducible across machines — which is what lets
+// scripts/bench_baseline.py pin series against a committed baseline.
+
+/// Lowercase [a-z0-9_] slug of a variant name, for stable metric keys
+/// ("+ Share in_queue" -> "share_in_queue").
+inline std::string slug(const std::string& name) {
+  std::string out;
+  bool sep = false;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (sep && !out.empty()) out += '_';
+      sep = false;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      sep = true;
+    }
+  }
+  return out;
+}
+
+/// Record one variant evaluation under `prefix` (e.g. "fig09.share_all").
+inline void record_eval(obs::Registry& reg, const std::string& prefix,
+                        const harness::EvalResult& r) {
+  reg.gauge(prefix + ".harmonic_teps").set(r.harmonic_teps);
+  reg.gauge(prefix + ".mean_time_ns").set(r.mean_time_ns);
+  reg.counter(prefix + ".visited_mean").add(r.visited_mean);
+  const auto& cnt = r.profile.counters();
+  reg.counter(prefix + ".bytes_inter_node").add(cnt.bytes_inter_node);
+  reg.counter(prefix + ".bytes_intra_node").add(cnt.bytes_intra_node);
+  reg.counter(prefix + ".bytes_raw_equiv").add(cnt.bytes_raw_equiv);
+  reg.counter(prefix + ".edges_scanned").add(cnt.edges_scanned);
+}
+
+/// Record one query-engine serving report under `prefix`.
+inline void record_engine(obs::Registry& reg, const std::string& prefix,
+                          const engine::EngineReport& rep) {
+  reg.gauge(prefix + ".total_ns").set(rep.total_ns);
+  reg.gauge(prefix + ".busy_ns").set(rep.busy_ns);
+  reg.gauge(prefix + ".mean_latency_ns").set(rep.mean_latency_ns);
+  reg.gauge(prefix + ".p50_latency_ns").set(rep.p50_latency_ns);
+  reg.gauge(prefix + ".p95_latency_ns").set(rep.p95_latency_ns);
+  reg.gauge(prefix + ".p99_latency_ns").set(rep.p99_latency_ns);
+  reg.gauge(prefix + ".qps").set(rep.qps);
+  reg.counter(prefix + ".waves").add(static_cast<std::uint64_t>(rep.waves));
+  reg.counter(prefix + ".levels").add(static_cast<std::uint64_t>(rep.levels));
+  reg.counter(prefix + ".backpressured")
+      .add(static_cast<std::uint64_t>(rep.backpressured));
+}
+
+/// --metrics=<path>: dump the registry as stable-schema JSON.
+inline void write_metrics(const harness::Options& opt,
+                          const obs::Registry& reg) {
+  if (!opt.has("metrics")) return;
+  const std::string path = opt.get_str("metrics", "metrics.json");
+  if (reg.write(path))
+    std::cout << "\nwrote " << path << "\n";
+  else
+    std::cerr << "\nfailed to write " << path << "\n";
+}
+
+/// --trace=<path>: attach a tracer to the cluster (nullptr when off).
+inline std::shared_ptr<obs::Tracer> make_tracer(const harness::Options& opt,
+                                                rt::Cluster& c) {
+  if (!opt.has("trace")) return nullptr;
+  auto tr = std::make_shared<obs::Tracer>(c.nranks(), c.ppn());
+  c.set_tracer(tr);
+  return tr;
+}
+
+/// Write the Chrome-trace JSON if --trace was given.
+inline void write_trace(const harness::Options& opt,
+                        const std::shared_ptr<obs::Tracer>& tr) {
+  if (tr == nullptr) return;
+  const std::string path = opt.get_str("trace", "trace.json");
+  if (tr->write(path))
+    std::cout << "\nwrote " << path << " (" << tr->total_events()
+              << " events; open in https://ui.perfetto.dev)\n";
+  else
+    std::cerr << "\nfailed to write " << path << "\n";
 }
 
 }  // namespace numabfs::bench

@@ -26,7 +26,9 @@ run bench_fig01_levels   --scale=$((18 + BOOST))
 run bench_fig03_numa_speedup --scale=$((16 + BOOST))
 run bench_fig04_bandwidth
 run bench_fig06_allgather
-run bench_fig09_overview --scale=$((20 + BOOST)) --svg="$OUT"
+run bench_fig09_overview --scale=$((20 + BOOST)) --svg="$OUT" \
+    --trace="$OUT/bench_fig09_trace.json" \
+    --metrics="$OUT/bench_fig09_metrics.json"
 run bench_fig10_policies --scale=$((17 + BOOST))
 run bench_fig11_breakdown --scale=$((17 + BOOST))
 run bench_fig12_comm_weakscale --base-scale=$((16 + BOOST))
@@ -37,13 +39,21 @@ run bench_fig16_granularity --scale=$((20 + BOOST)) --svg="$OUT"
 run bench_hybrid_vs_pure --scale=$((17 + BOOST))
 run bench_ablation_allgather
 run bench_ablation_2d
-run bench_ablation_compression --scale=$((20 + BOOST)) --svg="$OUT"
+run bench_ablation_compression --scale=$((20 + BOOST)) --svg="$OUT" \
+    --metrics="$OUT/bench_ablation_compression_metrics.json"
 run bench_2d_bfs --scale=$((18 + BOOST))
 run bench_fault_tolerance --scale=$((16 + BOOST))
 run bench_query_engine --scale=$((17 + BOOST)) \
-    --svg="$OUT/bench_query_engine_p95.svg"
+    --svg="$OUT/bench_query_engine_p95.svg" \
+    --trace="$OUT/bench_query_engine_trace.json" \
+    --metrics="$OUT/bench_query_engine_metrics.json"
 run bench_model_doctor
 run bench_kernels
 
 echo
-echo "done: tables in $OUT/*.txt, figures in $OUT/*.svg"
+echo "=== bench_baseline check (virtual-time perf gate)"
+python3 scripts/bench_baseline.py check --build-dir "$BUILD"
+
+echo
+echo "done: tables in $OUT/*.txt, figures in $OUT/*.svg;"
+echo "      traces in $OUT/*_trace.json (open in https://ui.perfetto.dev)"

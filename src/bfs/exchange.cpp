@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 #include "runtime/coll_model.hpp"
 
@@ -156,7 +158,17 @@ SparseExchangeStats exchange_sparse(rt::Proc& p, const graph::DistGraph& dg,
       bytes = world.val(r);
       const auto* src = static_cast<const std::uint8_t*>(world.ptr(r));
       const std::size_t before = frontier.size();
-      if (bytes > 0) codec::decode_list({src, bytes}, frontier);
+      if (bytes > 0) {
+        // Strict framing: a decode that stops short of the published size
+        // accepted a corrupted stream whose trailing bytes it never looked
+        // at — the checksummed-retransmit path needs a hard error instead.
+        const std::size_t used = codec::decode_list({src, bytes}, frontier);
+        if (used != bytes)
+          throw std::invalid_argument(
+              "exchange_sparse: list encoding from rank " + std::to_string(r) +
+              " decoded " + std::to_string(used) + " of " +
+              std::to_string(bytes) + " published bytes");
+      }
       count = frontier.size() - before;
     } else {
       count = world.val(r);
@@ -358,8 +370,15 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
       std::memcpy(dst.words().data() + off, src.data() + off, block_words * 8);
     } else {
       const auto& buf = st.enc_buf(src_rank);
-      codec::decode_bitmap({buf.data(), buf.size()},
-                           dst.words().subspan(off, block_words));
+      // Strict framing (see exchange_sparse): the encoding must account for
+      // every published byte, or the stream was corrupted.
+      const std::size_t used = codec::decode_bitmap(
+          {buf.data(), buf.size()}, dst.words().subspan(off, block_words));
+      if (used != buf.size())
+        throw std::invalid_argument(
+            "exchange_frontier: bitmap encoding from rank " +
+            std::to_string(src_rank) + " decoded " + std::to_string(used) +
+            " of " + std::to_string(buf.size()) + " bytes");
       bytes = buf.size();
     }
     if (src_rank == p.rank) return;  // own chunk: no transmission (Eq. (1))

@@ -196,6 +196,7 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
     int level = 0;
     int handled_dead = 0;
     for (;;) {
+      const double level_t0 = p.clock.now_ns();
       // Level boundary: checkpoint every owned partition, *then* die if
       // this rank's crash is scheduled here — the fail-stop model is "the
       // boundary checkpoint completed, the crash hit afterwards", so the
@@ -222,6 +223,7 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
 
       LevelResult lr;
       std::uint64_t my_rem = 0;
+      const double kernel_t0 = p.clock.now_ns();
       for (int q : parts) {
         const auto& qlg = dg.locals[static_cast<size_t>(q)];
         const UnitCosts& qu = costs[static_cast<size_t>(q)];
@@ -231,6 +233,10 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
         lr.discovered_edges += qr.discovered_edges;
         my_rem += st.unvisited_edges(q);
       }
+      p.trace_span(obs::kCatBfs, dir == 0 ? "td_kernel" : "bu_kernel",
+                   kernel_t0, p.clock.now_ns(),
+                   obs::kv("level", level) + "," +
+                       obs::kv("discovered", lr.discovered));
 
       const std::uint64_t nf =
           rt::allreduce_sum(p, world, lr.discovered, sim::Phase::stall);
@@ -247,12 +253,17 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
       if (inj != nullptr && inj->dead_count() > handled_dead) {
         handled_dead = inj->dead_count();
         parts = inj->parts_of(p.rank);
+        const double rb_t0 = p.clock.now_ns();
         for (int q : parts)
           restore_checkpoint(p, st, costs[static_cast<size_t>(q)], q,
                              ckpt[static_cast<size_t>(q)]);
         if (p.rank == inj->lowest_live())
           recoveries.fetch_add(1, std::memory_order_relaxed);
         p.barrier(world, sim::Phase::stall);  // rollback complete everywhere
+        p.trace_span(obs::kCatBfs, "recovery.rollback", rb_t0,
+                     p.clock.now_ns(),
+                     obs::kv("level", level) + "," +
+                         obs::kv("parts", static_cast<int>(parts.size())));
         continue;  // re-run the level (level/dir/prev_nf unchanged)
       }
 
@@ -282,6 +293,10 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
       if (nf == 0) {
         if (p.rank == recorder) shared.ex_codec.push_back(-1);  // no exchange
         record_level();
+        p.trace_span(obs::kCatBfs, "level " + std::to_string(level), level_t0,
+                     p.clock.now_ns(),
+                     obs::kv("dir", dir == 0 ? "td" : "bu") + "," +
+                         obs::kv("discovered", nf));
         break;
       }
 
@@ -310,6 +325,12 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
           for (int q : parts) discovered_to_out_bits(p, st, u, q);
         const ExchangeTimes ex =
             exchange_frontier(p, dg, st, u, sim::Phase::bu_comm, parts);
+        p.trace_instant(
+            obs::kCatBfs, "codec.gate",
+            obs::kv("level", level) + "," +
+                obs::kv("kind", graph::codec::to_string(ex.codec)) + "," +
+                obs::kv("wire_bytes", ex.chunk_wire_bytes) + "," +
+                obs::kv("raw_bytes", ex.chunk_raw_bytes));
         if (p.rank == recorder) {
           shared.bu_ex++;
           shared.ex_codec.push_back(static_cast<int>(ex.codec));
@@ -319,6 +340,11 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
         // leaving bottom-up, the stale out bitmaps are wiped on the way.
         const SparseExchangeStats sx = exchange_sparse(
             p, dg, st, u, sim::Phase::td_comm, /*wipe_out=*/dir == 1, parts);
+        p.trace_instant(obs::kCatBfs, "codec.gate",
+                        obs::kv("level", level) + "," +
+                            obs::kv("kind", sx.coded ? "sparse_list" : "raw") +
+                            "," + obs::kv("wire_bytes", sx.wire_bytes) + "," +
+                            obs::kv("raw_bytes", sx.raw_bytes));
         if (p.rank == recorder) {
           shared.td_ex++;
           shared.ex_codec.push_back(
@@ -327,6 +353,10 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
         }
       }
       record_level();
+      p.trace_span(obs::kCatBfs, "level " + std::to_string(level), level_t0,
+                   p.clock.now_ns(),
+                   obs::kv("dir", dir == 0 ? "td" : "bu") + "," +
+                       obs::kv("discovered", nf));
       dir = next;
       ++level;
     }

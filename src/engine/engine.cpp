@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <stdexcept>
 
 #include "graph/rmat.hpp"
 #include "harness/graph500.hpp"
+#include "obs/trace.hpp"
 
 namespace numabfs::engine {
 
@@ -112,6 +114,11 @@ EngineReport QueryEngine::serve(std::span<const Query> queries) {
   std::size_t next = 0;     // first not-yet-admitted arrival
   double last_dequeue = 0;  // instant queue space last became available
 
+  // Driver-track tracing (admission, batch formation, per-wave spans).
+  // Host events carry absolute serve-loop time; the per-wave base offset
+  // below relocates the in-wave rank events, whose clocks restart at 0.
+  obs::Tracer* tr = cluster_.tracer();
+
   // Admit every arrival up to time `t` that finds room in the bounded
   // queue. An arrival that found the queue full waits at the door and is
   // admitted the moment a wave dequeues (arrivals are FIFO end to end).
@@ -120,6 +127,11 @@ EngineReport QueryEngine::serve(std::span<const Query> queries) {
            queue.size() < static_cast<std::size_t>(ec_.queue_depth)) {
       const double adm = std::max(queries[next].arrival_ns, last_dequeue);
       if (adm > queries[next].arrival_ns) ++rep.backpressured;
+      if (tr != nullptr)
+        tr->instant(tr->host_track(), obs::kCatEngine, "admit", adm,
+                    obs::kv("query", queries[next].id) + "," +
+                        obs::kv("backpressured",
+                                adm > queries[next].arrival_ns ? "yes" : "no"));
       queue.push_back({next, adm});
       ++next;
     }
@@ -129,7 +141,10 @@ EngineReport QueryEngine::serve(std::span<const Query> queries) {
   std::size_t completed = 0;
   std::vector<WaveQuery> wave;
   std::vector<std::size_t> wave_idx;
-  std::vector<double> latencies(nq, 0);
+  // NaN marks "never completed"; mean/percentile skip non-finite entries,
+  // so a lane that cannot complete (e.g. its rank crashed) deflates the
+  // completed count rather than silently pulling the percentiles to 0.
+  std::vector<double> latencies(nq, std::numeric_limits<double>::quiet_NaN());
 
   while (completed < nq) {
     if (queue.empty()) {
@@ -163,7 +178,19 @@ EngineReport QueryEngine::serve(std::span<const Query> queries) {
     last_dequeue = now;
     admit(now);
 
+    if (tr != nullptr) {
+      tr->instant(tr->host_track(), obs::kCatEngine, "batch.form", now,
+                  obs::kv("wave", rep.waves) + "," + obs::kv("batch", batch));
+      // In-wave rank clocks restart at 0; land their events at wave start.
+      tr->set_base_ns(now);
+    }
     const WaveResult wr = run_wave(cluster_, dg_, ws_, wave);
+    if (tr != nullptr) {
+      tr->set_base_ns(0);
+      tr->span(tr->host_track(), obs::kCatEngine,
+               "wave " + std::to_string(rep.waves), now, now + wr.wave_ns,
+               obs::kv("batch", batch) + "," + obs::kv("levels", wr.levels));
+    }
     for (int l = 0; l < batch; ++l) {
       auto& r = rep.results[wave_idx[static_cast<std::size_t>(l)]];
       const LaneResult& lr = wr.lanes[static_cast<std::size_t>(l)];

@@ -447,6 +447,10 @@ void wave_exchange(rt::Proc& p, const graph::DistGraph& dg, WaveState& ws,
   }
   p.charge(phase, total_ns);
   p.barrier(world, phase);  // the collective completes together
+  p.trace_instant(obs::kCatEngine, "wave.exchange",
+                  obs::kv("chunk_bytes", chunk_bytes) + "," +
+                      obs::kv("raw_bytes", raw_chunk_bytes) + "," +
+                      obs::kv("coded", presence_coded ? "yes" : "no"));
 
   // Wipe the owned out blocks (and their summaries) for the next level.
   for (int q : parts) {
@@ -651,6 +655,7 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
     int level = 1;  // kernel at level L discovers distance-L vertices
     int handled_dead = 0;
     while (active != 0) {
+      const double level_t0 = p.clock.now_ns();
 
       // Level boundary: checkpoint, then die if scheduled (the fail-stop
       // model of bfs::run_bfs — the checkpoint completed, the crash hit
@@ -770,6 +775,10 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
         if (p.rank == inj->lowest_live())
           recoveries.fetch_add(1, std::memory_order_relaxed);
         p.barrier(world, sim::Phase::stall);  // rollback complete everywhere
+        p.trace_span(obs::kCatEngine, "recovery.rollback", level_t0,
+                     p.clock.now_ns(),
+                     obs::kv("level", level) + "," +
+                         obs::kv("parts", static_cast<int>(parts.size())));
         continue;  // re-run the level (level/dir/prev_nf unchanged; the
                    // frontier inputs were never touched)
       }
@@ -793,21 +802,34 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
           lr.complete_level = level;
           lr.complete_ns = p.clock.now_ns();
           lr.reached = hit;
+          p.trace_instant(
+              obs::kCatEngine, "lane.retire",
+              obs::kv("lane", l) + "," + obs::kv("level", level) + "," +
+                  obs::kv("reason",
+                          hit ? "hit" : (drained ? "drained" : "radius")));
         }
       }
       active &= ~retired;
       if (p.rank == recorder) shared.directions.push_back(dir);
 
-      if (active == 0) break;  // retired lanes' stale bits never propagate:
-                               // every kernel masks frontier reads with the
-                               // (new) active mask
+      const auto trace_level = [&] {
+        p.trace_span(obs::kCatEngine, "mslevel " + std::to_string(level),
+                     level_t0, p.clock.now_ns(),
+                     obs::kv("dir", dir == 1 ? "dense" : "sparse") + "," +
+                         obs::kv("active", std::popcount(active)));
+      };
+      if (active == 0) {  // retired lanes' stale bits never propagate:
+        trace_level();    // every kernel masks frontier reads with the
+        break;            // (new) active mask
+      }
+
+      wave_exchange(p, dg, ws, u, active, parts);
+      trace_level();
 
       // Next level's kernel, from the measured state (see `choose` above).
       ch = choose(static_cast<double>(mf), static_cast<double>(nf),
                   static_cast<double>(needy), static_cast<double>(mu));
       dir = ch.dir;
-
-      wave_exchange(p, dg, ws, u, active, parts);
       ++level;
     }
 

@@ -86,6 +86,10 @@ std::size_t get_varint(std::span<const std::uint8_t> in, std::size_t pos,
   for (int shift = 0; shift < 64; shift += 7) {
     if (pos >= in.size()) malformed("truncated varint");
     const std::uint8_t b = in[pos++];
+    // The 10th byte (shift 63) holds exactly one payload bit; a larger
+    // value would shift bits past 2^64, which the unsigned shift silently
+    // discards — corruption must be rejected, not rounded.
+    if (shift == 63 && (b & 0x7f) > 1) malformed("varint exceeds 64 bits");
     v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if (!(b & 0x80)) return pos;
   }
@@ -186,6 +190,11 @@ std::size_t decode_bitmap(std::span<const std::uint8_t> in,
         if (i == n) break;
         std::uint64_t lrun = 0;
         pos = get_varint(in, pos, lrun);
+        // A valid encoder always emits >= 1 literal word here (the zero run
+        // ended on a nonzero word); an empty run is corruption and would let
+        // crafted zrun/lrun pairs spin over the input without producing
+        // output.
+        if (lrun == 0) malformed("empty literal run");
         if (lrun > n - i) malformed("literal run overflows bitmap");
         for (std::uint64_t k = 0; k < lrun; ++k) {
           if (pos >= in.size()) malformed("truncated literal mask");
@@ -210,6 +219,9 @@ std::size_t decode_bitmap(std::span<const std::uint8_t> in,
       for (std::uint64_t k = 0; k < count; ++k) {
         std::uint64_t d = 0;
         pos = get_varint(in, pos, d);
+        // cur + d wrapping around 2^64 would sneak a huge corrupted gap
+        // past the range check below and silently set a wrong bit.
+        if (k != 0 && d > ~cur) malformed("set-bit position overflows");
         cur = (k == 0) ? d : cur + d;
         if (cur >= n * 64) malformed("set-bit position out of range");
         words[cur >> 6] |= 1ull << (cur & 63);

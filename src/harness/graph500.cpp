@@ -1,6 +1,7 @@
 #include "harness/graph500.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "bfs/state.hpp"
@@ -149,20 +150,32 @@ double harmonic_mean(const std::vector<double>& xs) {
 }
 
 double mean(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
   double sum = 0.0;
-  for (double x : xs) sum += x;
-  return sum / static_cast<double>(xs.size());
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (!std::isfinite(x)) continue;  // NaN marks a missing sample
+    sum += x;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
 double percentile(std::vector<double> xs, double p) {
+  // Non-finite entries mark missing samples (e.g. a query that never
+  // completed); they must not participate — NaN would also make the sort
+  // order unspecified, poisoning every order statistic around it.
+  xs.erase(std::remove_if(xs.begin(), xs.end(),
+                          [](double x) { return !std::isfinite(x); }),
+           xs.end());
   if (xs.empty()) return 0.0;
   if (p < 0.0) p = 0.0;
   if (p > 100.0) p = 100.0;
   std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];  // any p: the only order statistic
   const double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  if (lo >= xs.size() - 1) lo = xs.size() - 2;  // p=100: idx == size-1
+  const std::size_t hi = lo + 1;
   const double frac = idx - static_cast<double>(lo);
   return xs[lo] + (xs[hi] - xs[lo]) * frac;
 }

@@ -90,13 +90,17 @@ class Experiment {
 /// Harmonic mean (the Graph500 aggregation for TEPS).
 double harmonic_mean(const std::vector<double>& xs);
 
-/// Arithmetic mean; 0 for an empty input.
+/// Arithmetic mean over the finite entries; non-finite values (NaN marks a
+/// missing sample, e.g. a query that never completed) are skipped. 0 when
+/// no finite entry exists.
 double mean(const std::vector<double>& xs);
 
-/// p-th percentile (p in [0, 100]) by linear interpolation between order
-/// statistics (the common "linear" / type-7 definition); 0 for an empty
-/// input. Deterministic for a fixed input, so latency SLO reports are
-/// bit-reproducible.
+/// p-th percentile (p clamped to [0, 100]) by linear interpolation between
+/// order statistics (the common "linear" / type-7 definition). Non-finite
+/// entries are dropped first (they mark missing samples and would make the
+/// sort order unspecified); 0 when no finite entry remains, the sole entry
+/// for a single sample, min/max at p=0/p=100. Deterministic for a fixed
+/// input, so latency SLO reports are bit-reproducible.
 double percentile(std::vector<double> xs, double p);
 
 }  // namespace numabfs::harness

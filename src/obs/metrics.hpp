@@ -1,0 +1,72 @@
+#pragma once
+// Central metrics registry: named counters, gauges, and fixed-bucket
+// histograms, dumped as stable-schema JSON ("numabfs.metrics.v1"). Bench
+// binaries fill one Registry per run and write it with --metrics=<path>;
+// scripts/bench_baseline.py pins selected series against BENCH_baseline.json.
+//
+// Values are *virtual*-time quantities (or pure counts), so a committed
+// baseline is bit-reproducible across machines.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace obs {
+
+struct Counter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t d = 1) { value += d; }
+};
+
+struct Gauge {
+  double value = 0;
+  void set(double v) { value = v; }
+};
+
+class Histogram {
+ public:
+  // upper_bounds must be strictly increasing; an implicit +inf bucket is
+  // appended, so counts() has upper_bounds.size() + 1 entries.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // First call for a name fixes the bucket bounds; later calls may pass an
+  // empty vector to fetch the existing histogram.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds = {});
+
+  bool has(const std::string& name) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  std::string json() const;
+  bool write(const std::string& path) const;
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace obs

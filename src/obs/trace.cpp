@@ -1,0 +1,185 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
+}
+
+std::string kv(const char* key, double v) {
+  return std::string("\"") + key + "\":" + fmt_double(v);
+}
+std::string kv(const char* key, std::uint64_t v) {
+  return std::string("\"") + key + "\":" + std::to_string(v);
+}
+std::string kv(const char* key, std::int64_t v) {
+  return std::string("\"") + key + "\":" + std::to_string(v);
+}
+std::string kv(const char* key, int v) {
+  return kv(key, static_cast<std::int64_t>(v));
+}
+std::string kv(const char* key, std::string_view v) {
+  return std::string("\"") + key + "\":\"" + json_escape(v) + "\"";
+}
+
+Tracer::Tracer(int nranks, int ranks_per_node)
+    : nranks_(nranks), ppn_(ranks_per_node < 1 ? 1 : ranks_per_node) {
+  if (nranks < 1) throw std::invalid_argument("Tracer: nranks must be >= 1");
+  tracks_.resize(static_cast<std::size_t>(nranks_) + 1);
+}
+
+void Tracer::span(int track, const char* cat, std::string name, double t0_ns,
+                  double t1_ns, std::string args) {
+  auto& t = tracks_[static_cast<std::size_t>(track)];
+  t.push_back(TraceEvent{base_ns_ + t0_ns, std::max(0.0, t1_ns - t0_ns), cat,
+                         std::move(name), std::move(args)});
+}
+
+void Tracer::instant(int track, const char* cat, std::string name,
+                     double ts_ns, std::string args) {
+  auto& t = tracks_[static_cast<std::size_t>(track)];
+  t.push_back(
+      TraceEvent{base_ns_ + ts_ns, -1, cat, std::move(name), std::move(args)});
+}
+
+std::size_t Tracer::total_events() const {
+  std::size_t n = 0;
+  for (const auto& t : tracks_) n += t.size();
+  return n;
+}
+
+double Tracer::covered_time_ns(int track) const {
+  double sum = 0;
+  for (const auto& e : tracks_[static_cast<std::size_t>(track)]) {
+    if (e.is_span() && e.cat == std::string_view(kCatTime)) sum += e.dur_ns;
+  }
+  return sum;
+}
+
+double Tracer::max_ts_ns() const {
+  double mx = 0;
+  for (const auto& t : tracks_) {
+    for (const auto& e : t) {
+      mx = std::max(mx, e.ts_ns + (e.is_span() ? e.dur_ns : 0.0));
+    }
+  }
+  return mx;
+}
+
+namespace {
+
+void append_event(std::string& out, const TraceEvent& e, int pid, int tid) {
+  out += "{\"name\":\"";
+  out += json_escape(e.name);
+  out += "\",\"cat\":\"";
+  out += e.cat;
+  out += "\",\"ph\":\"";
+  out += e.is_span() ? 'X' : 'i';
+  out += "\",\"ts\":";
+  out += fmt_double(e.ts_ns / 1000.0);
+  if (e.is_span()) {
+    out += ",\"dur\":";
+    out += fmt_double(e.dur_ns / 1000.0);
+  } else {
+    out += ",\"s\":\"t\"";
+  }
+  out += ",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  if (!e.args.empty()) {
+    out += ",\"args\":{";
+    out += e.args;
+    out += "}";
+  }
+  out += "}";
+}
+
+void append_meta(std::string& out, const char* what, const std::string& value,
+                 int pid, int tid) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"args\":{\"name\":\"";
+  out += json_escape(value);
+  out += "\"}}";
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  const int nnodes = (nranks_ + ppn_ - 1) / ppn_;
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](auto&& fn) {
+    if (!first) out += ",\n";
+    first = false;
+    fn();
+  };
+  for (int node = 0; node < nnodes; ++node) {
+    emit([&] { append_meta(out, "process_name", "node " + std::to_string(node), node, 0); });
+  }
+  emit([&] { append_meta(out, "process_name", "driver", nnodes, 0); });
+  for (int r = 0; r < nranks_; ++r) {
+    emit([&] { append_meta(out, "thread_name", "rank " + std::to_string(r), r / ppn_, r); });
+  }
+  emit([&] { append_meta(out, "thread_name", "driver", nnodes, nranks_); });
+  for (int tr = 0; tr <= nranks_; ++tr) {
+    const int pid = tr == nranks_ ? nnodes : tr / ppn_;
+    const int tid = tr;
+    for (const auto& e : tracks_[static_cast<std::size_t>(tr)]) {
+      emit([&] { append_event(out, e, pid, tid); });
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << chrome_json();
+  return static_cast<bool>(f);
+}
+
+void Tracer::clear() {
+  for (auto& t : tracks_) t.clear();
+  base_ns_ = 0;
+}
+
+}  // namespace obs

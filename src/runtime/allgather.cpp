@@ -81,6 +81,7 @@ coll_model::CollTimes allgather(Proc& p, Comm& comm,
   assert(idx >= 0);
   const size_t words = chunk.size();
   assert(dst.size() == words * static_cast<size_t>(comm.size()));
+  const double trace_t0 = p.clock.now_ns();
 
   comm.publish_ptr(idx, chunk.data());
   comm.publish_val(idx, words);
@@ -122,6 +123,9 @@ coll_model::CollTimes allgather(Proc& p, Comm& comm,
       const faults::Verdict v =
           inj->attempt_verdict(peer, p.rank, seq, attempt, p.clock.now_ns());
       if (v == faults::Verdict::drop) {
+        p.trace_instant(obs::kCatFault, "coll.drop",
+                        obs::kv("from", peer) + "," + obs::kv("seq", seq) +
+                            "," + obs::kv("attempt", attempt));
         fault_extra_ns += c.link().nic_transfer_ns(bytes, 1, c.node_of(peer),
                                                    p.node) +
                           coll_rto_ns(c.params(), attempt);
@@ -137,6 +141,9 @@ coll_model::CollTimes allgather(Proc& p, Comm& comm,
         inj->corrupt_payload({out, words}, peer, p.rank, seq, attempt);
       if (faults::checksum64({out, words}) == want) break;
       // Checksum mismatch: discard, NACK, wait for the retransmission.
+      p.trace_instant(obs::kCatFault, "coll.corrupt",
+                      obs::kv("from", peer) + "," + obs::kv("seq", seq) + "," +
+                          obs::kv("attempt", attempt));
       fault_extra_ns += 2.0 * c.params().nic_msg_latency_ns;
       if (attempt + 1 >= kCollMaxAttempts)
         throw faults::FaultError(
@@ -157,6 +164,11 @@ coll_model::CollTimes allgather(Proc& p, Comm& comm,
   }
   p.charge(phase, t.total_ns);
   p.barrier(comm, phase);  // collective completes together
+  p.trace_span(obs::kCatColl, std::string("allgather.") + to_string(algo),
+               trace_t0, p.clock.now_ns(),
+               obs::kv("chunk_bytes",
+                       static_cast<std::uint64_t>(words) * sizeof(std::uint64_t)) +
+                   "," + obs::kv("group", comm.size()));
   return t;
 }
 

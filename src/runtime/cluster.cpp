@@ -13,8 +13,11 @@ void Proc::charge(sim::Phase phase, double ns) {
     const faults::FaultInjector* inj = cluster->injector();
     if (inj != nullptr) ns *= inj->compute_factor(rank, clock.now_ns());
   }
+  const double t0 = clock.now_ns();
   clock.charge_ns(ns);
   prof.add(phase, ns);
+  if (tracer != nullptr && ns > 0)
+    tracer->span(rank, obs::kCatTime, sim::to_string(phase), t0, t0 + ns);
 }
 
 void Cluster::retire_rank(const Proc& p) {
@@ -88,6 +91,7 @@ void Cluster::run(const std::function<void(Proc&)>& fn) {
     p.ppn = ppn_;
     p.threads = sockets_per_rank_ * topo_.cores_per_socket();
     p.cluster = this;
+    p.tracer = tracer_.get();
   }
 
   std::vector<std::thread> threads;

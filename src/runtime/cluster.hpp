@@ -22,6 +22,7 @@
 #include "numasim/phase_profile.hpp"
 #include "numasim/topology.hpp"
 #include "numasim/vclock.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 
 namespace numabfs::rt {
@@ -41,6 +42,9 @@ struct Proc {
   sim::VClock clock;
   sim::PhaseProfile prof;
   Cluster* cluster = nullptr;
+  /// Event tracer, or nullptr when tracing is off. Writes only this rank's
+  /// track, and never charges the clock: tracing on/off is bit-identical.
+  obs::Tracer* tracer = nullptr;
   /// Per-rank collective sequence number (SPMD-deterministic); keys the
   /// fault coins of the data-moving collectives.
   std::uint64_t coll_seq = 0;
@@ -56,6 +60,24 @@ struct Proc {
     const double before = clock.now_ns();
     const double mx = c.barrier().sync(c.index_of(rank), clock);
     prof.add(phase, mx - before);
+    if (tracer != nullptr && mx > before) {
+      tracer->span(rank, obs::kCatTime, sim::to_string(phase), before, mx,
+                   "\"op\":\"barrier\"");
+    }
+  }
+
+  /// Semantic instant on this rank's track (no-op when tracing is off).
+  void trace_instant(const char* cat, std::string name, std::string args = {}) {
+    if (tracer != nullptr)
+      tracer->instant(rank, cat, std::move(name), clock.now_ns(),
+                      std::move(args));
+  }
+
+  /// Semantic span [t0_ns, t1_ns] on this rank's track (no-op when off).
+  void trace_span(const char* cat, std::string name, double t0_ns,
+                  double t1_ns, std::string args = {}) {
+    if (tracer != nullptr)
+      tracer->span(rank, cat, std::move(name), t0_ns, t1_ns, std::move(args));
   }
 
   bool is_node_leader() const { return local == 0; }
@@ -86,6 +108,15 @@ class Cluster {
   /// The active fault injector, or nullptr when chaos mode is off.
   const faults::FaultInjector* injector() const { return injector_.get(); }
   faults::FaultInjector* injector() { return injector_.get(); }
+
+  /// Attach an event tracer; nullptr disables tracing. Each rank of the
+  /// next run() gets `Proc::tracer` pointed at it. The tracer must have
+  /// exactly nranks() rank tracks.
+  void set_tracer(std::shared_ptr<obs::Tracer> tracer) {
+    tracer_ = std::move(tracer);
+  }
+  obs::Tracer* tracer() { return tracer_.get(); }
+  const obs::Tracer* tracer() const { return tracer_.get(); }
 
   /// Permanently remove a crashing rank from every communicator barrier it
   /// belongs to (world, node, its subgroup, leaders if applicable), so the
@@ -122,6 +153,7 @@ class Cluster {
   std::unique_ptr<Comm> leaders_;
   std::vector<std::unique_ptr<Comm>> subgroups_;
   std::shared_ptr<faults::FaultInjector> injector_;
+  std::shared_ptr<obs::Tracer> tracer_;
   /// Set by retire_rank; tells the next run() to rebuild every barrier at
   /// full membership (retirement is permanent on a std::barrier).
   std::atomic<bool> barriers_dirty_{false};

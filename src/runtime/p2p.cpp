@@ -64,6 +64,9 @@ void PostOffice::send(Proc& from, int to, std::span<const std::uint64_t> payload
     if (v == faults::Verdict::drop) {
       // The attempt burned wire time, then the sender sat out the
       // retransmit timeout waiting for an ACK that never came.
+      from.trace_instant(obs::kCatFault, "p2p.drop",
+                         obs::kv("to", to) + "," + obs::kv("seq", seq) + "," +
+                             obs::kv("attempt", attempt));
       from.charge(phase, ns + rto_ns(c.params(), attempt));
       if (attempt + 1 >= kMaxAttempts)
         throw faults::FaultError(
@@ -87,6 +90,9 @@ void PostOffice::send(Proc& from, int to, std::span<const std::uint64_t> payload
     if (v == faults::Verdict::corrupt) {
       // The receiver's checksum check rejects this copy and NACKs; the
       // sender pays the NACK round trip before retransmitting.
+      from.trace_instant(obs::kCatFault, "p2p.corrupt",
+                         obs::kv("to", to) + "," + obs::kv("seq", seq) + "," +
+                             obs::kv("attempt", attempt));
       from.charge(phase, 2.0 * c.params().nic_msg_latency_ns);
       if (attempt + 1 >= kMaxAttempts)
         throw faults::FaultError(
@@ -95,6 +101,9 @@ void PostOffice::send(Proc& from, int to, std::span<const std::uint64_t> payload
             " corrupted " + std::to_string(kMaxAttempts) + " times; giving up");
       continue;
     }
+    from.trace_instant(obs::kCatP2p, "send",
+                       obs::kv("to", to) + "," + obs::kv("bytes", bytes) +
+                           "," + obs::kv("seq", seq));
     return;
   }
 }
@@ -116,8 +125,11 @@ std::vector<std::uint64_t> PostOffice::recv(Proc& self, int from,
       box.queue.erase(it);
       lock.unlock();
       if (m.arrival_ns > self.clock.now_ns()) {
-        self.prof.add(phase, m.arrival_ns - self.clock.now_ns());
+        const double t0 = self.clock.now_ns();
+        self.prof.add(phase, m.arrival_ns - t0);
         self.clock.advance_to_ns(m.arrival_ns);
+        self.trace_span(obs::kCatTime, sim::to_string(phase), t0, m.arrival_ns,
+                        "\"op\":\"recv_wait\"");
       }
       if (faults::checksum64(m.payload) != m.checksum) {
         // Damaged in flight: discard and NACK (one message latency); the
@@ -132,8 +144,11 @@ std::vector<std::uint64_t> PostOffice::recv(Proc& self, int from,
 
     if (inj != nullptr && inj->dead(from)) {
       if (finite) {
+        const double t0 = self.clock.now_ns();
         self.clock.charge_ns(timeout_ns);
         self.prof.add(phase, timeout_ns);
+        self.trace_span(obs::kCatTime, sim::to_string(phase), t0,
+                        t0 + timeout_ns, "\"op\":\"recv_timeout\"");
       }
       throw faults::TimeoutError(
           "PostOffice::recv: rank " + std::to_string(self.rank) +
@@ -143,8 +158,11 @@ std::vector<std::uint64_t> PostOffice::recv(Proc& self, int from,
     if (finite && host_waited_ms >= host_grace_ms) {
       // Nothing arrived within the host grace window: model the virtual
       // wait as exactly the requested timeout, deterministically.
+      const double t0 = self.clock.now_ns();
       self.clock.charge_ns(timeout_ns);
       self.prof.add(phase, timeout_ns);
+      self.trace_span(obs::kCatTime, sim::to_string(phase), t0,
+                      t0 + timeout_ns, "\"op\":\"recv_timeout\"");
       throw faults::TimeoutError(
           "PostOffice::recv: rank " + std::to_string(self.rank) +
           " timed out after " + std::to_string(timeout_ns) +

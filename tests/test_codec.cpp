@@ -91,6 +91,25 @@ TEST(Varint, TruncatedInputThrows) {
                std::invalid_argument);
 }
 
+TEST(Varint, TenthByteOverflowThrows) {
+  // 9 continuation bytes consume 63 payload bits; the 10th byte may carry
+  // exactly one more. Any larger value would shift bits past 2^64 — the
+  // unsigned shift silently discards them, so the decoder must reject the
+  // stream instead of rounding the value.
+  std::vector<std::uint8_t> buf(9, 0xFF);
+  buf.push_back(0x01);  // ...valid: this is UINT64_MAX
+  std::uint64_t v = 0;
+  EXPECT_EQ(get_varint({buf.data(), buf.size()}, 0, v), 10u);
+  EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+  buf.back() = 0x02;  // one bit past 2^64
+  EXPECT_THROW(get_varint({buf.data(), buf.size()}, 0, v),
+               std::invalid_argument);
+  buf.back() = 0x81;  // an 11th byte is never valid
+  buf.push_back(0x00);
+  EXPECT_THROW(get_varint({buf.data(), buf.size()}, 0, v),
+               std::invalid_argument);
+}
+
 // ---------------------------------------------------------------------------
 // Bitmap codecs: edge cases
 // ---------------------------------------------------------------------------
@@ -227,6 +246,99 @@ TEST(BitmapCodec, MalformedInputThrows) {
       std::invalid_argument);
 }
 
+TEST(BitmapCodec, PositionsDeltaOverflowThrows) {
+  // kModePositions with a delta that wraps cur past 2^64: without the
+  // overflow guard, 10 + (2^64 - 5) wraps to 5, sails under the range
+  // check, and silently sets the wrong bit.
+  std::vector<std::uint8_t> enc = {2};  // kModePositions
+  put_varint(enc, 2);                   // two set bits
+  put_varint(enc, 10);                  // first position
+  put_varint(enc, ~std::uint64_t{4});   // delta 2^64 - 5: wraps to bit 5
+  std::vector<std::uint64_t> out(4, 0);
+  EXPECT_THROW(decode_bitmap({enc.data(), enc.size()}, {out.data(), 4}),
+               std::invalid_argument);
+}
+
+TEST(BitmapCodec, EmptyLiteralRunThrows) {
+  // A valid token stream never emits lrun == 0 (the zero run ended on a
+  // nonzero word); crafted zrun=0/lrun=0 pairs would otherwise spin over
+  // the input without filling any output words.
+  std::vector<std::uint8_t> enc = {1};  // kModeTokens
+  put_varint(enc, 0);                   // zrun 0
+  put_varint(enc, 0);                   // lrun 0: corruption
+  put_varint(enc, 0);
+  put_varint(enc, 0);
+  std::vector<std::uint64_t> out(4, 0);
+  EXPECT_THROW(decode_bitmap({enc.data(), enc.size()}, {out.data(), 4}),
+               std::invalid_argument);
+}
+
+TEST(BitmapCodec, EveryTruncationThrows) {
+  // A canonical encoding is consumed exactly (RoundTripFuzz pins used ==
+  // nb), so every strict prefix must fail to fill the output words and
+  // throw — never return a half-filled bitmap as success.
+  for (const double d : {0.002, 0.05, 0.5}) {
+    const auto in = random_words(64, d, 31 + static_cast<std::uint64_t>(d * 1000));
+    for (const bool sparse : {false, true}) {
+      std::vector<std::uint8_t> enc;
+      const std::size_t nb = sparse
+                                 ? encode_bitmap_sparse({in.data(), 64}, enc)
+                                 : encode_dense({in.data(), 64}, enc);
+      for (std::size_t cut = 0; cut < nb; ++cut) {
+        std::vector<std::uint64_t> out(64, 0);
+        EXPECT_THROW(decode_bitmap({enc.data(), cut}, {out.data(), 64}),
+                     std::invalid_argument)
+            << "sparse=" << sparse << " d=" << d << " cut=" << cut;
+      }
+    }
+  }
+}
+
+TEST(BitmapCodec, OverLongStreamReportsExactConsumption) {
+  // Trailing garbage after a valid encoding must not be read: the decoder
+  // reports exactly the bytes it consumed so the exchange layer can treat
+  // `used != published size` as a hard framing error (corruption that the
+  // checksummed-retransmit path has to see, not silently accept).
+  const auto in = random_words(64, 0.01, 77);
+  for (const bool sparse : {false, true}) {
+    std::vector<std::uint8_t> enc;
+    const std::size_t nb = sparse ? encode_bitmap_sparse({in.data(), 64}, enc)
+                                  : encode_dense({in.data(), 64}, enc);
+    enc.insert(enc.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+    std::vector<std::uint64_t> out(64, ~0ull);
+    EXPECT_EQ(decode_bitmap({enc.data(), enc.size()}, {out.data(), 64}), nb);
+    EXPECT_EQ(out, in);
+  }
+}
+
+TEST(BitmapCodec, ByteFlipFuzzNeverOverreadsOrHangs) {
+  // Flip every byte of valid encodings through a few XOR masks: the
+  // decoder must either throw std::invalid_argument or consume at most the
+  // buffer — corrupted streams must never crash, over-read, or spin.
+  for (const double d : {0.002, 0.05, 0.5}) {
+    const auto in = random_words(32, d, 123 + static_cast<std::uint64_t>(d * 1e4));
+    for (const bool sparse : {false, true}) {
+      std::vector<std::uint8_t> enc;
+      const std::size_t nb = sparse ? encode_bitmap_sparse({in.data(), 32}, enc)
+                                    : encode_dense({in.data(), 32}, enc);
+      for (std::size_t i = 0; i < nb; ++i) {
+        for (const std::uint8_t mask : {0x01, 0x80, 0xFF}) {
+          std::vector<std::uint8_t> bad(enc.begin(), enc.begin() + nb);
+          bad[i] ^= mask;
+          std::vector<std::uint64_t> out(32, 0);
+          try {
+            const std::size_t used =
+                decode_bitmap({bad.data(), bad.size()}, {out.data(), 32});
+            EXPECT_LE(used, bad.size());
+          } catch (const std::invalid_argument&) {
+            // rejection is the expected outcome for most flips
+          }
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Vertex-list codec
 // ---------------------------------------------------------------------------
@@ -274,6 +386,36 @@ TEST(ListCodec, MalformedInputThrows) {
   put_varint(lying, 1ull << 40);
   EXPECT_THROW(decode_list({lying.data(), lying.size()}, out),
                std::invalid_argument);
+}
+
+TEST(ListCodec, TruncationAndByteFlipFuzz) {
+  std::vector<Vertex> list;
+  for (Vertex v = 0; v < 500; ++v) list.push_back((v * 2654435761u) & 0xFFFFF);
+  std::vector<std::uint8_t> enc;
+  const std::size_t nb = encode_list({list.data(), list.size()}, enc);
+  // Every strict prefix throws (the decoder cannot produce `count` values).
+  for (std::size_t cut = 0; cut < nb; cut += 7) {
+    std::vector<Vertex> out;
+    EXPECT_THROW(decode_list({enc.data(), cut}, out), std::invalid_argument)
+        << "cut=" << cut;
+  }
+  // Trailing garbage is not consumed: exact framing is reported back.
+  std::vector<std::uint8_t> padded = enc;
+  padded.insert(padded.end(), {0xAA, 0xBB});
+  std::vector<Vertex> out;
+  EXPECT_EQ(decode_list({padded.data(), padded.size()}, out), nb);
+  EXPECT_EQ(out, list);
+  // Byte flips either throw or stay inside the buffer; 32-bit range of
+  // every decoded vertex is enforced even on corrupt streams.
+  for (std::size_t i = 0; i < nb; i += 3) {
+    std::vector<std::uint8_t> bad = enc;
+    bad[i] ^= 0xFF;
+    std::vector<Vertex> fuzz_out;
+    try {
+      EXPECT_LE(decode_list({bad.data(), bad.size()}, fuzz_out), bad.size());
+    } catch (const std::invalid_argument&) {
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -376,6 +518,31 @@ TEST(CodecBfs, DeterministicUnderCrashPlan) {
   const auto v = graph::validate_bfs_tree(e.bundle().csr, root, p1);
   ASSERT_TRUE(v.ok) << v.error;
   e.cluster().set_fault_injector(nullptr);
+}
+
+TEST(CodecBfs, CorrectUnderPayloadCorruption) {
+  // Wire corruption under the codec: flipped bits in an encoded stream are
+  // caught by the checksum (or by the decoder's hard framing errors) and
+  // retransmitted — the traversal must land on exactly the clean tree, at
+  // a deterministic (if higher) virtual time.
+  Experiment e(bundle10(), shape(2, 4));
+  const auto root = e.bundle().roots[0];
+  const auto [clean_res, clean_parent] =
+      e.run_validated(bfs::compressed(), root);
+
+  e.cluster().set_fault_injector(std::make_shared<faults::FaultInjector>(
+      faults::FaultPlan::parse("seed:7,corrupt:prob=0.2"),
+      e.cluster().nranks(), e.cluster().ppn()));
+  const auto [r1, p1] = e.run_validated(bfs::compressed(), root);
+  const auto [r2, p2] = e.run_validated(bfs::compressed(), root);
+  e.cluster().set_fault_injector(nullptr);
+
+  EXPECT_EQ(p1, clean_parent);
+  EXPECT_EQ(r1.visited, clean_res.visited);
+  EXPECT_EQ(p2, p1);
+  EXPECT_EQ(r1.time_ns, r2.time_ns);
+  const auto v = graph::validate_bfs_tree(e.bundle().csr, root, p1);
+  ASSERT_TRUE(v.ok) << v.error;
 }
 
 TEST(CodecBfs, FullFrontierWireNeverExceedsRawPlusHeaders) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -43,6 +45,30 @@ TEST(Percentile, OrderStatisticsAndInterpolation) {
   EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 140), 2.0);
   // p50 of an even-length input is the midpoint of the middle pair.
   EXPECT_DOUBLE_EQ(percentile({1.0, 9.0}, 50), 5.0);
+}
+
+TEST(Percentile, SkipsNonFiniteSamples) {
+  // NaN marks a missing sample (e.g. a query that never completed); it must
+  // deflate the sample count, not poison the sort order or pull the
+  // percentiles toward 0.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(percentile({nan, 3.0, 1.0, nan, 2.0}, 50), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({nan, 3.0, 1.0, nan, 2.0}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({nan, 3.0, 1.0, nan, 2.0}, 100), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({inf, -inf, 5.0}, 50), 5.0);
+  // All samples missing behaves like the empty input.
+  EXPECT_DOUBLE_EQ(percentile({nan, nan}, 95), 0.0);
+  // A single surviving sample is every percentile.
+  EXPECT_DOUBLE_EQ(percentile({nan, 42.0}, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({nan, 42.0}, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({nan, 42.0}, 100), 42.0);
+}
+
+TEST(Mean, SkipsNonFiniteSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(mean({nan, 2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(mean({nan, nan}), 0.0);
 }
 
 TEST(GraphBundle, RootsAreDistinctAndSearchable) {

@@ -72,6 +72,25 @@ TEST(Trace, PhaseTimesMatchProfile) {
   EXPECT_NEAR(comm, prof_comm, prof_comm * 1e-9 + 1e-6);
 }
 
+TEST(Trace, PhaseTimesMatchProfileUnderChunkPipelining) {
+  // Same accounting identity under the compressed, chunk-pipelined
+  // exchange: the per-level comp+comm trace entries must still sum to the
+  // profile totals even though each level's communication is split across
+  // pipelined chunks (and partially overlapped with compute). A drift here
+  // means a chunk charged time outside its level's trace entry.
+  const auto r = traced_run(2, 8, bfs::compressed(256, 4));
+  double comp = 0, comm = 0;
+  for (const auto& lv : r.trace) {
+    comp += lv.comp_ns;
+    comm += lv.comm_ns;
+  }
+  const double prof_comp = r.profile_avg.get(sim::Phase::td_comp) +
+                           r.profile_avg.get(sim::Phase::bu_comp);
+  const double prof_comm = r.profile_avg.comm_ns();
+  EXPECT_NEAR(comp, prof_comp, prof_comp * 1e-9 + 1e-6);
+  EXPECT_NEAR(comm, prof_comm, prof_comm * 1e-9 + 1e-6);
+}
+
 TEST(Trace, SummaryProbesOnlyInBottomUpLevels) {
   const auto r = traced_run(2, 8, bfs::original());
   bool saw_bu_probes = false;
