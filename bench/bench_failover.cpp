@@ -1,0 +1,228 @@
+/// Replicated serving tier soak: R replica clusters behind the front door,
+/// a seeded whole-replica outage mid-soak, and the robustness scorecard the
+/// tier is judged by — per-class p99 latency and SLO attainment, the shed
+/// rate, and the failover blip (abort-to-resume gap in virtual time).
+///
+/// Three phases:
+///
+///  1. Fault-free soak: the same workload over R healthy replicas — the
+///     attainment and latency baseline.
+///  2. Chaos soak: replica 0 dies (`outage:at=`) at --outage-frac of the
+///     fault-free makespan, mid-wave; optional extra chaos (--faults=...)
+///     is attached to every replica. In-flight lanes fail over to a healthy
+///     replica and resume from the last exported checkpoint epoch.
+///  3. Determinism self-check: phase 2 rerun from scratch must reproduce
+///     every number bit for bit.
+///
+/// The binary exits nonzero if the chaos soak sheds a full-distance query,
+/// misses the full-distance p99 attainment gate (>= 0.99), or fails the
+/// determinism check — so CI can run it as a seeded chaos gate
+/// (--soak-short shrinks the workload to CI size).
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "engine/frontdoor.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "harness/svg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace numabfs;
+  harness::Options opt(argc, argv);
+  const bool soak_short = opt.has("soak-short");
+  const int scale = opt.get_int_min("scale", soak_short ? 12 : 15, 1);
+  const int nodes = opt.get_int_min("nodes", 2, 1);
+  const int ppn = opt.get_int_min("ppn", soak_short ? 2 : 4, 1);
+  const int replicas = opt.get_int_min("replicas", 2, 1);
+  const int queries = opt.get_int_min("queries", soak_short ? 32 : 96, 1);
+  const int batch = opt.get_int_min("batch", 16, 1);
+  const double gap_ns = opt.get_double("gap", soak_short ? 5e5 : 1e6);
+  const double outage_frac = opt.get_double_in("outage-frac", 0.4, 0.0, 1.0);
+  const std::uint64_t seed = opt.get_u64("seed", 20120924);
+  const std::string extra_faults = opt.get_str("faults", "");
+  const std::string svg = opt.get_str("svg", "");
+
+  bench::print_header(
+      "serving-tier failover",
+      "SLO-aware admission, graceful degradation, mid-query failover",
+      "scale " + std::to_string(scale) + ", " + std::to_string(replicas) +
+          " replicas x (" + std::to_string(nodes) + " nodes x ppn " +
+          std::to_string(ppn) + "), " + std::to_string(queries) +
+          " queries, gap " + harness::Table::ms(gap_ns));
+
+  const harness::GraphBundle bundle =
+      harness::GraphBundle::make(scale, 16, seed, 64);
+  harness::ExperimentOptions eo;
+  eo.nodes = nodes;
+  eo.ppn = ppn;
+  std::vector<std::unique_ptr<harness::Experiment>> reps;
+  std::vector<engine::ReplicaHandle> handles;
+  for (int r = 0; r < replicas; ++r) {
+    reps.push_back(std::make_unique<harness::Experiment>(bundle, eo));
+    handles.push_back({&reps.back()->cluster(), &reps.back()->dist()});
+  }
+
+  engine::WorkloadSpec ws;
+  ws.num_queries = queries;
+  ws.seed = seed;
+  ws.mean_interarrival_ns = gap_ns;
+  ws.st_fraction = 0.25;
+  ws.khop_fraction = 0.25;
+  const auto qs = engine::QueryEngine::generate(reps[0]->dist(), ws);
+
+  engine::FrontDoorConfig fdc;
+  fdc.max_batch = batch;
+  const bfs::Config cfg = bfs::share_all();
+
+  const auto attach = [&](int r, const std::string& spec) {
+    rt::Cluster& c = reps[static_cast<std::size_t>(r)]->cluster();
+    if (spec.empty()) {
+      c.set_fault_injector(nullptr);
+    } else {
+      c.set_fault_injector(std::make_shared<faults::FaultInjector>(
+          faults::FaultPlan::parse(spec), c.nranks(), c.ppn()));
+    }
+  };
+  const auto serve = [&]() {
+    engine::FrontDoor door(cfg, fdc, handles);
+    return door.serve(qs);
+  };
+
+  // --- Phase 1: fault-free soak -----------------------------------------
+  for (int r = 0; r < replicas; ++r) attach(r, "");
+  const engine::FrontDoorReport clean = serve();
+
+  // --- Phase 2: replica 0 dies mid-soak ---------------------------------
+  // Snap the outage instant into the middle of a replica-0 wave: the chaos
+  // run is bit-identical to the fault-free one up to the outage, so the
+  // wave the fault-free run dispatched at `best_start` is guaranteed to be
+  // in flight — the outage is a true mid-query kill, not an idle blip.
+  double outage_ns = outage_frac * clean.total_ns;
+  double best_start = -1;
+  for (const auto& r : clean.results)
+    if (r.replica == 0 && r.start_ns <= outage_ns && r.start_ns > best_start)
+      best_start = r.start_ns;
+  if (best_start >= 0) {
+    double wave_end = best_start;
+    for (const auto& r : clean.results)
+      if (r.replica == 0 && r.start_ns == best_start)
+        wave_end = std::max(wave_end, r.complete_ns);
+    outage_ns = 0.5 * (best_start + wave_end);
+  }
+  const std::string chaos_seed = "seed:" + std::to_string(seed % 1000);
+  std::string plan0 = chaos_seed + ",outage:at=" + std::to_string(outage_ns);
+  std::string plan_rest = extra_faults.empty() ? "" : chaos_seed;
+  if (!extra_faults.empty()) {
+    plan0 += "," + extra_faults;
+    plan_rest += "," + extra_faults;
+  }
+  attach(0, plan0);
+  for (int r = 1; r < replicas; ++r) attach(r, plan_rest);
+
+  obs::Registry reg;
+  auto tracer = bench::make_tracer(opt, reps[0]->cluster());
+  const engine::FrontDoorReport chaos = serve();
+  bench::write_trace(opt, tracer);
+  if (tracer != nullptr) reps[0]->cluster().set_tracer(nullptr);
+
+  // --- Phase 3: bit-determinism self-check ------------------------------
+  const engine::FrontDoorReport replay = serve();
+  bool deterministic = chaos.total_ns == replay.total_ns &&
+                       chaos.failover_blip_ns == replay.failover_blip_ns &&
+                       chaos.failovers == replay.failovers &&
+                       chaos.shed == replay.shed &&
+                       chaos.degraded == replay.degraded;
+  for (int c = 0; c < static_cast<int>(engine::SloClass::kCount); ++c)
+    deterministic = deterministic &&
+                    chaos.cls[c].p99_ns == replay.cls[c].p99_ns &&
+                    chaos.cls[c].attainment == replay.cls[c].attainment;
+
+  // --- Report ------------------------------------------------------------
+  const auto class_table = [&](const char* title,
+                               const engine::FrontDoorReport& rep) {
+    std::cout << "\n" << title << "\n";
+    harness::Table t({"class", "submitted", "served", "degraded", "shed",
+                      "p50 lat", "p99 lat", "SLO attainment"});
+    for (int c = 0; c < static_cast<int>(engine::SloClass::kCount); ++c) {
+      const auto& cs = rep.cls[c];
+      t.row({engine::to_string(static_cast<engine::SloClass>(c)),
+             std::to_string(cs.submitted), std::to_string(cs.served),
+             std::to_string(cs.degraded), std::to_string(cs.shed),
+             harness::Table::ms(cs.p50_ns), harness::Table::ms(cs.p99_ns),
+             harness::Table::fmt(100.0 * cs.attainment) + "%"});
+    }
+    t.print(std::cout);
+  };
+  class_table("fault-free soak:", clean);
+  class_table("chaos soak (replica 0 outage mid-wave):", chaos);
+
+  std::cout << "\noutage at " << harness::Table::ms(outage_ns)
+            << " (frac " << outage_frac << " of fault-free makespan)\n"
+            << "failovers        : " << chaos.failovers << "\n"
+            << "failover blip    : " << harness::Table::ms(chaos.failover_blip_ns)
+            << "  (abort -> resume on a healthy replica)\n"
+            << "replicas lost    : " << chaos.replicas_lost << "/" << replicas
+            << "\n"
+            << "shed rate        : " << harness::Table::fmt(100.0 * chaos.shed_rate)
+            << "%  (degraded " << chaos.degraded << ", shed " << chaos.shed
+            << ")\n"
+            << "waves            : " << clean.waves << " -> " << chaos.waves
+            << "\n"
+            << "retransmits      : " << chaos.counters.retransmits
+            << ", recv timeouts: " << chaos.counters.recv_timeouts
+            << ", adoptions: " << chaos.counters.adoptions << "\n"
+            << "determinism      : " << (deterministic ? "PASS" : "FAIL")
+            << " (chaos soak replays bit-identically)\n";
+
+  bench::record_frontdoor(reg, "failover.clean", clean);
+  bench::record_frontdoor(reg, "failover.chaos", chaos);
+  reg.gauge("failover.outage_ns").set(outage_ns);
+
+  if (!svg.empty()) {
+    harness::SvgChart chart("Serving-tier p99 latency under chaos",
+                            "SLO class", "p99 latency (ms)");
+    chart.set_categories({"full", "khop", "reach"});
+    std::vector<double> a, b;
+    for (int c = 0; c < static_cast<int>(engine::SloClass::kCount); ++c) {
+      a.push_back(clean.cls[c].p99_ns / 1e6);
+      b.push_back(chaos.cls[c].p99_ns / 1e6);
+    }
+    chart.add_series("fault-free", std::move(a));
+    chart.add_series("replica outage", std::move(b));
+    chart.write_bars(svg);
+    std::cout << "wrote " << svg << "\n";
+  }
+  bench::write_metrics(opt, reg);
+
+  // --- Gates -------------------------------------------------------------
+  const auto& full =
+      chaos.cls[static_cast<int>(engine::SloClass::full_distance)];
+  bool ok = true;
+  if (full.shed != 0) {
+    std::cerr << "\nGATE FAIL: " << full.shed
+              << " full-distance queries shed/lost under chaos\n";
+    ok = false;
+  }
+  if (full.attainment < 0.99) {
+    std::cerr << "\nGATE FAIL: full-distance SLO attainment "
+              << 100.0 * full.attainment << "% < 99%\n";
+    ok = false;
+  }
+  if (!deterministic) {
+    std::cerr << "\nGATE FAIL: chaos soak is not bit-deterministic\n";
+    ok = false;
+  }
+  if (best_start >= 0 && chaos.failovers < 1) {
+    std::cerr << "\nGATE FAIL: the mid-wave outage produced no failover\n";
+    ok = false;
+  }
+  if (ok)
+    std::cout << "\nGATE PASS: no full-distance loss, p99 attainment >= 99%, "
+                 "bit-deterministic\n";
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "engine/engine.hpp"
+#include "engine/frontdoor.hpp"
 #include "harness/graph500.hpp"
 #include "harness/options.hpp"
 #include "harness/table.hpp"
@@ -74,6 +75,16 @@ inline std::string slug(const std::string& name) {
   return out;
 }
 
+/// Record the chaos-mode reaction counters under `prefix`. Zero in
+/// fault-free runs, so baselines stay clean; under a fault plan they are
+/// the primary evidence of *how* the run survived.
+inline void record_robustness(obs::Registry& reg, const std::string& prefix,
+                              const sim::Counters& cnt) {
+  reg.counter(prefix + ".retransmits").add(cnt.retransmits);
+  reg.counter(prefix + ".recv_timeouts").add(cnt.recv_timeouts);
+  reg.counter(prefix + ".adoptions").add(cnt.adoptions);
+}
+
 /// Record one variant evaluation under `prefix` (e.g. "fig09.share_all").
 inline void record_eval(obs::Registry& reg, const std::string& prefix,
                         const harness::EvalResult& r) {
@@ -85,6 +96,7 @@ inline void record_eval(obs::Registry& reg, const std::string& prefix,
   reg.counter(prefix + ".bytes_intra_node").add(cnt.bytes_intra_node);
   reg.counter(prefix + ".bytes_raw_equiv").add(cnt.bytes_raw_equiv);
   reg.counter(prefix + ".edges_scanned").add(cnt.edges_scanned);
+  record_robustness(reg, prefix, cnt);
 }
 
 /// Record one query-engine serving report under `prefix`.
@@ -101,6 +113,43 @@ inline void record_engine(obs::Registry& reg, const std::string& prefix,
   reg.counter(prefix + ".levels").add(static_cast<std::uint64_t>(rep.levels));
   reg.counter(prefix + ".backpressured")
       .add(static_cast<std::uint64_t>(rep.backpressured));
+}
+
+/// Record one front-door (replicated serving tier) report under `prefix`:
+/// per-class latency/attainment plus the degradation/failover evidence
+/// (shed, degraded, failovers, blip) and the robustness counters.
+inline void record_frontdoor(obs::Registry& reg, const std::string& prefix,
+                             const engine::FrontDoorReport& rep) {
+  reg.gauge(prefix + ".total_ns").set(rep.total_ns);
+  reg.gauge(prefix + ".busy_ns").set(rep.busy_ns);
+  reg.gauge(prefix + ".shed_rate").set(rep.shed_rate);
+  reg.gauge(prefix + ".failover_blip_ns").set(rep.failover_blip_ns);
+  reg.counter(prefix + ".waves").add(static_cast<std::uint64_t>(rep.waves));
+  reg.counter(prefix + ".levels").add(static_cast<std::uint64_t>(rep.levels));
+  reg.counter(prefix + ".failovers")
+      .add(static_cast<std::uint64_t>(rep.failovers));
+  reg.counter(prefix + ".replicas_lost")
+      .add(static_cast<std::uint64_t>(rep.replicas_lost));
+  reg.counter(prefix + ".degraded")
+      .add(static_cast<std::uint64_t>(rep.degraded));
+  reg.counter(prefix + ".shed").add(static_cast<std::uint64_t>(rep.shed));
+  reg.counter(prefix + ".backpressured")
+      .add(static_cast<std::uint64_t>(rep.backpressured));
+  reg.counter(prefix + ".recoveries")
+      .add(static_cast<std::uint64_t>(rep.recoveries));
+  for (int c = 0; c < static_cast<int>(engine::SloClass::kCount); ++c) {
+    const auto& cs = rep.cls[c];
+    const std::string p =
+        prefix + "." + engine::to_string(static_cast<engine::SloClass>(c));
+    reg.counter(p + ".submitted").add(static_cast<std::uint64_t>(cs.submitted));
+    reg.counter(p + ".served").add(static_cast<std::uint64_t>(cs.served));
+    reg.counter(p + ".degraded").add(static_cast<std::uint64_t>(cs.degraded));
+    reg.counter(p + ".shed").add(static_cast<std::uint64_t>(cs.shed));
+    reg.gauge(p + ".p50_ns").set(cs.p50_ns);
+    reg.gauge(p + ".p99_ns").set(cs.p99_ns);
+    reg.gauge(p + ".attainment").set(cs.attainment);
+  }
+  record_robustness(reg, prefix, rep.counters);
 }
 
 /// --metrics=<path>: dump the registry as stable-schema JSON.

@@ -33,6 +33,7 @@ BENCHES = [
      ["--scale=12", "--nodes=2", "--ppn=2", "--batch=4", "--queries=8"]),
     ("ablation", "bench_ablation_compression",
      ["--scale=13", "--roots=1", "--nodes=4", "--ppn=2", "--weak=0"]),
+    ("failover", "bench_failover", ["--soak-short"]),
 ]
 
 # Pinned series: (metric key, direction). "up" = bigger is better (a drop
@@ -49,6 +50,11 @@ SERIES = [
     ("ablation.codec_gate_k_4.harmonic_teps", "up"),
     ("ablation.codec_gate_k_4.bytes_inter_node", "down"),
     ("ablation.granularity_raw_wire.harmonic_teps", "up"),
+    ("failover.clean.total_ns", "down"),
+    ("failover.chaos.full.p99_ns", "down"),
+    ("failover.chaos.full.attainment", "up"),
+    ("failover.chaos.failover_blip_ns", "down"),
+    ("failover.chaos.shed_rate", "down"),
 ]
 
 

@@ -252,7 +252,10 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
       // back to the boundary checkpoint, and re-running the level.
       if (inj != nullptr && inj->dead_count() > handled_dead) {
         handled_dead = inj->dead_count();
+        const size_t owned_before = parts.size();
         parts = inj->parts_of(p.rank);
+        if (parts.size() > owned_before)
+          p.prof.counters().adoptions += parts.size() - owned_before;
         const double rb_t0 = p.clock.now_ns();
         for (int q : parts)
           restore_checkpoint(p, st, costs[static_cast<size_t>(q)], q,

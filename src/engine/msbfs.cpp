@@ -507,10 +507,54 @@ void reset_wave(rt::Proc& p, const graph::DistGraph& dg, WaveState& ws,
   p.barrier(c.world(), sim::Phase::other);
 }
 
+/// Failover import: load a cross-replica checkpoint into this cluster's
+/// WaveState instead of seeding the sources. Partition state lands at the
+/// owner; each frontier replica gets the checkpointed copy plus a freshly
+/// rebuilt summary (scanned against the resumed active mask, so retired
+/// lanes' stale bits cannot resurrect summary groups).
+void import_wave(rt::Proc& p, WaveState& ws, const WaveCheckpoint& ck,
+                 const bfs::UnitCosts& u, std::uint64_t active) {
+  rt::Cluster& c = *p.cluster;
+  const auto r = static_cast<std::size_t>(p.rank);
+
+  auto seen = ws.seen(p.rank);
+  std::memcpy(seen.data(), ck.seen[r].data(), seen.size() * 8);
+  auto dist = ws.dist(p.rank);
+  std::memcpy(dist.data(), ck.dist[r].data(), dist.size() * sizeof(Dist));
+  std::uint64_t words = seen.size() + dist.size() * sizeof(Dist) / 8;
+  if (ws.track_parents()) {
+    auto parent = ws.parent(p.rank);
+    std::memcpy(parent.data(), ck.parent[r].data(),
+                parent.size() * sizeof(graph::Vertex));
+    words += parent.size() * sizeof(graph::Vertex) / 8;
+  }
+  std::memset(ws.out(p.rank).data(), 0, ws.out(p.rank).size() * 8);
+  ws.out_summary(p.rank).bits().reset();
+  words += ws.out(p.rank).size();
+
+  if (!ws.shared_frontier() || p.is_node_leader()) {
+    auto frontier = ws.frontier(p.rank);
+    std::memcpy(frontier.data(), ck.frontier.data(), frontier.size() * 8);
+    auto fs = ws.frontier_summary(p.rank);
+    fs.bits().reset();
+    for (std::uint64_t v = 0; v < frontier.size(); ++v)
+      if ((frontier[v] & active) != 0) fs.mark(v);
+    words += 2 * frontier.size();
+  }
+  p.charge(sim::Phase::other, u.stream_pass_ns(words));
+  p.barrier(c.world(), sim::Phase::other);
+}
+
 }  // namespace
 
 WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
                     std::span<const WaveQuery> queries) {
+  return run_wave(c, dg, ws, queries, WaveOptions{});
+}
+
+WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
+                    std::span<const WaveQuery> queries,
+                    const WaveOptions& opts) {
   const bfs::Config& cfg = ws.config();
   const int nq = static_cast<int>(queries.size());
   if (nq < 1 || nq > kMaxLanes)
@@ -521,6 +565,29 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
       throw std::invalid_argument("run_wave: query vertex out of range");
     if (q.kind == QueryKind::k_hop && q.k < 0)
       throw std::invalid_argument("run_wave: negative k_hop radius");
+  }
+
+  const WaveCheckpoint* rck = opts.resume_from;
+  if (rck != nullptr) {
+    const auto np = static_cast<std::size_t>(c.nranks());
+    if (!rck->valid || rck->seen.size() != np ||
+        rck->frontier.size() != ws.padded_vertices() ||
+        (ws.track_parents() &&
+         (rck->parent.size() != np || rck->parent[0].empty())))
+      throw std::invalid_argument(
+          "run_wave: resume checkpoint missing or built for another shape");
+    if ((opts.resume_active & ~rck->active) != 0)
+      throw std::invalid_argument(
+          "run_wave: resume_active must be a subset of the checkpoint's "
+          "active lanes");
+  }
+  WaveCheckpoint* xp = opts.export_to;
+  const int export_every = std::max(1, opts.export_every);
+  if (xp != nullptr) {
+    xp->valid = false;
+    xp->seen.assign(static_cast<std::size_t>(c.nranks()), {});
+    xp->dist.assign(static_cast<std::size_t>(c.nranks()), {});
+    xp->parent.assign(static_cast<std::size_t>(c.nranks()), {});
   }
 
   // Per-partition unit costs (owned sizes differ on the tail rank).
@@ -555,6 +622,9 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
   struct Shared {
     std::vector<int> directions;  // 0 = sparse, 1 = dense, per level
     std::vector<LaneResult> lanes;
+    bool aborted = false;  // written by the recorder, read host-side
+    double abort_ns = 0;
+    std::uint64_t unfinished = 0;
   } shared;
   shared.lanes.assign(static_cast<std::size_t>(nq), LaneResult{});
 
@@ -562,41 +632,6 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
     const bfs::UnitCosts& u = costs[static_cast<std::size_t>(p.rank)];
     rt::Comm& world = c.world();
     std::vector<int> parts{p.rank};
-
-    reset_wave(p, dg, ws, queries, u);
-
-    // Trivial lanes retire before the first kernel: an s-t query whose
-    // target is its source, and a 0-hop neighborhood.
-    std::uint64_t active = nq == kMaxLanes ? ~0ull : (1ull << nq) - 1;
-    int recorder = inj != nullptr ? inj->lowest_live() : 0;
-    for (int l = 0; l < nq; ++l) {
-      const WaveQuery& q = queries[static_cast<std::size_t>(l)];
-      const bool trivial =
-          (q.kind == QueryKind::st_reachability && q.target == q.source) ||
-          (q.kind == QueryKind::k_hop && q.k == 0);
-      if (!trivial) continue;
-      active &= ~(1ull << l);
-      if (p.rank == recorder) {
-        auto& lr = shared.lanes[static_cast<std::size_t>(l)];
-        lr.complete_level = 0;
-        lr.complete_ns = p.clock.now_ns();
-        lr.reached = q.kind == QueryKind::st_reachability;
-      }
-    }
-
-    // Level-1 direction from the sources' degree sum.
-    std::uint64_t my_src_edges = 0;
-    {
-      const auto& lg = dg.locals[static_cast<std::size_t>(p.rank)];
-      for (int l = 0; l < nq; ++l) {
-        const graph::Vertex s = queries[static_cast<std::size_t>(l)].source;
-        if ((active >> l & 1) && s >= lg.vbegin && s < lg.vend)
-          my_src_edges += lg.bu_offsets[s - lg.vbegin + 1] -
-                          lg.bu_offsets[s - lg.vbegin];
-      }
-    }
-    const std::uint64_t src_edges =
-        rt::allreduce_sum(p, world, my_src_edges, sim::Phase::stall);
 
     // Cost-model-driven kernel choice (replacing the scalar Beamer
     // hysteresis, which the lane union breaks: 16 sources push the
@@ -647,15 +682,111 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
       return Choice{dense_est < sparse_est ? 1 : 0, use_sum};
     };
 
-    Choice ch = choose(static_cast<double>(src_edges),
-                       static_cast<double>(std::popcount(active)), n_d,
-                       static_cast<double>(dg.directed_edges));
-    int dir = ch.dir;
-
+    std::uint64_t active = nq == kMaxLanes ? ~0ull : (1ull << nq) - 1;
+    int recorder = inj != nullptr ? inj->lowest_live() : 0;
+    Choice ch{0, false};
     int level = 1;  // kernel at level L discovers distance-L vertices
+
+    if (rck == nullptr) {
+      reset_wave(p, dg, ws, queries, u);
+
+      // Trivial lanes retire before the first kernel: an s-t query whose
+      // target is its source, and a 0-hop neighborhood.
+      for (int l = 0; l < nq; ++l) {
+        const WaveQuery& q = queries[static_cast<std::size_t>(l)];
+        const bool trivial =
+            (q.kind == QueryKind::st_reachability && q.target == q.source) ||
+            (q.kind == QueryKind::k_hop && q.k == 0);
+        if (!trivial) continue;
+        active &= ~(1ull << l);
+        if (p.rank == recorder) {
+          auto& lr = shared.lanes[static_cast<std::size_t>(l)];
+          lr.finished = true;
+          lr.complete_level = 0;
+          lr.complete_ns = p.clock.now_ns();
+          lr.reached = q.kind == QueryKind::st_reachability;
+        }
+      }
+
+      // Level-1 direction from the sources' degree sum.
+      std::uint64_t my_src_edges = 0;
+      {
+        const auto& lg = dg.locals[static_cast<std::size_t>(p.rank)];
+        for (int l = 0; l < nq; ++l) {
+          const graph::Vertex s = queries[static_cast<std::size_t>(l)].source;
+          if ((active >> l & 1) && s >= lg.vbegin && s < lg.vend)
+            my_src_edges += lg.bu_offsets[s - lg.vbegin + 1] -
+                            lg.bu_offsets[s - lg.vbegin];
+        }
+      }
+      const std::uint64_t src_edges =
+          rt::allreduce_sum(p, world, my_src_edges, sim::Phase::stall);
+      ch = choose(static_cast<double>(src_edges),
+                  static_cast<double>(std::popcount(active)), n_d,
+                  static_cast<double>(dg.directed_edges));
+    } else {
+      // Failover resume: take over the checkpointed epoch — the surviving
+      // lanes, wave position and kernel choice all come from the exporter.
+      active = opts.resume_active != 0 ? opts.resume_active : rck->active;
+      level = rck->level;
+      ch = Choice{rck->dir, rck->use_summary};
+      import_wave(p, ws, *rck, u, active);
+    }
+    int dir = ch.dir;
     int handled_dead = 0;
     while (active != 0) {
       const double level_t0 = p.clock.now_ns();
+
+      // Replica-outage horizon: past `abort_at_ns` this replica makes no
+      // progress. Checked only at clock-aligned points (level entry, and
+      // the retirement boundary below) so every rank observes the abort at
+      // the same level and the wave stays bit-deterministic.
+      if (p.clock.now_ns() >= opts.abort_at_ns) {
+        if (p.rank == recorder) {
+          shared.aborted = true;
+          shared.abort_ns = p.clock.now_ns();
+          shared.unfinished = active;
+        }
+        break;
+      }
+
+      // Cross-replica epoch export: partition owners persist their
+      // seen/dist/parent, the recorder persists one replicated-frontier
+      // copy and the wave position. The closing barrier runs before the
+      // crash point below, so an exported epoch always describes a fully
+      // pre-death state, even when the exporting rank is the one dying.
+      if (xp != nullptr && (level - 1) % export_every == 0) {
+        for (int q : parts) {
+          const auto qi = static_cast<std::size_t>(q);
+          auto seen = ws.seen(q);
+          auto dist = ws.dist(q);
+          xp->seen[qi].assign(seen.begin(), seen.end());
+          xp->dist[qi].assign(dist.begin(), dist.end());
+          std::uint64_t words =
+              seen.size() + dist.size() * sizeof(Dist) / 8;
+          if (ws.track_parents()) {
+            auto parent = ws.parent(q);
+            xp->parent[qi].assign(parent.begin(), parent.end());
+            words += parent.size() * sizeof(graph::Vertex) / 8;
+          }
+          p.charge(sim::Phase::other, costs[qi].stream_pass_ns(words));
+        }
+        if (p.rank == recorder) {
+          auto frontier = ws.frontier(p.rank);
+          xp->frontier.assign(frontier.begin(), frontier.end());
+          xp->level = level;
+          xp->dir = dir;
+          xp->use_summary = ch.use_summary;
+          xp->active = active;
+          xp->valid = true;
+          p.charge(sim::Phase::other, u.stream_pass_ns(frontier.size()));
+        }
+        p.barrier(world, sim::Phase::stall);  // epoch complete pre-death
+        if (p.rank == recorder)
+          p.trace_instant(obs::kCatEngine, "wave.ckpt",
+                          obs::kv("level", level) + "," +
+                              obs::kv("active", std::popcount(active)));
+      }
 
       // Level boundary: checkpoint, then die if scheduled (the fail-stop
       // model of bfs::run_bfs — the checkpoint completed, the crash hit
@@ -761,7 +892,10 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
       // the level; everything else this iteration computed is discarded.
       if (inj != nullptr && inj->dead_count() > handled_dead) {
         handled_dead = inj->dead_count();
+        const std::size_t owned_before = parts.size();
         parts = inj->parts_of(p.rank);
+        if (parts.size() > owned_before)
+          p.prof.counters().adoptions += parts.size() - owned_before;
         for (int q : parts) {
           auto seen = ws.seen(q);
           const auto& saved = ckpt[static_cast<std::size_t>(q)];
@@ -784,6 +918,18 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
       }
       recorder = inj != nullptr ? inj->lowest_live() : 0;
 
+      // Retirement-boundary abort check: a death mid-level voids this
+      // level's retirements — they would have completed after the replica
+      // stopped answering, so the front door must re-run those lanes.
+      if (p.clock.now_ns() >= opts.abort_at_ns) {
+        if (p.rank == recorder) {
+          shared.aborted = true;
+          shared.abort_ns = p.clock.now_ns();
+          shared.unfinished = active;
+        }
+        break;
+      }
+
       // Retirement: s-t lanes on a hit, k-hop lanes at radius, any lane
       // whose frontier drained. Clocks are aligned here (the allreduces end
       // with a barrier), so the recorder's now is everyone's now.
@@ -799,6 +945,7 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
         retired |= 1ull << l;
         if (p.rank == recorder) {
           auto& lr = shared.lanes[static_cast<std::size_t>(l)];
+          lr.finished = true;
           lr.complete_level = level;
           lr.complete_ns = p.clock.now_ns();
           lr.reached = hit;
@@ -852,6 +999,9 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
   for (int d : shared.directions) (d == 0 ? out.td_levels : out.bu_levels)++;
   out.recoveries = recoveries.load(std::memory_order_relaxed);
   out.ranks_lost = inj != nullptr ? inj->dead_count() : 0;
+  out.aborted = shared.aborted;
+  out.abort_ns = shared.abort_ns;
+  out.unfinished = shared.unfinished;
   out.lanes = std::move(shared.lanes);
 
   // Per-lane visited counts (host-side reporting; no virtual-time impact).

@@ -40,6 +40,7 @@
 /// degraded links stretch the modeled exchange time.
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -76,6 +77,8 @@ struct WaveQuery {
 
 /// Per-lane outcome of a wave.
 struct LaneResult {
+  bool finished = false;    ///< the lane retired (false: the wave aborted
+                            ///< before this lane completed)
   int complete_level = 0;   ///< BFS level at which the lane retired
   double complete_ns = 0;   ///< virtual time of retirement (wave-relative)
   bool reached = false;     ///< st_reachability: target found
@@ -91,7 +94,51 @@ struct WaveResult {
   int bu_levels = 0;     ///< levels run with the dense (bottom-up) kernel
   int recoveries = 0;    ///< level re-runs after rank crashes
   int ranks_lost = 0;
+  bool aborted = false;  ///< hit WaveOptions::abort_at_ns before draining
+  double abort_ns = 0;   ///< virtual time the abort was observed
+  std::uint64_t unfinished = 0;  ///< lanes still active at the abort
   std::vector<LaneResult> lanes;  ///< one per submitted query
+};
+
+/// Cross-replica wave checkpoint: everything another cluster serving the
+/// same DistGraph needs to resume the surviving lanes — the failover unit
+/// of the replicated serving tier. Exported at level boundaries (an "epoch")
+/// strictly before any scheduled death of that level, so a valid checkpoint
+/// always describes a consistent pre-crash state.
+struct WaveCheckpoint {
+  bool valid = false;
+  int level = 0;             ///< level the next kernel would run
+  int dir = 0;               ///< kernel chosen for that level (0 sparse)
+  bool use_summary = false;  ///< dense kernel's summary decision
+  std::uint64_t active = 0;  ///< lanes alive at the epoch
+  std::vector<std::vector<std::uint64_t>> seen;     ///< per partition
+  std::vector<std::vector<Dist>> dist;              ///< per partition
+  std::vector<std::vector<graph::Vertex>> parent;   ///< per partition (may
+                                                    ///< be empty vectors)
+  std::vector<std::uint64_t> frontier;  ///< one replicated-frontier copy
+};
+
+/// Knobs of the fault-tolerant wave entry point. Defaults reproduce the
+/// plain run_wave bit-for-bit (no horizon, no export, fresh start).
+struct WaveOptions {
+  /// Virtual time at which this replica stops making progress (its outage
+  /// instant). The wave aborts at the first clock-aligned point at or past
+  /// it: lanes retired strictly before keep their results, the rest are
+  /// reported in WaveResult::unfinished for failover.
+  double abort_at_ns = std::numeric_limits<double>::infinity();
+  /// Epoch stride of cross-replica checkpoint export (levels); only used
+  /// when `export_to` is set.
+  int export_every = 1;
+  /// Destination of the epoch exports (nullptr: no export).
+  WaveCheckpoint* export_to = nullptr;
+  /// Resume from this checkpoint instead of seeding the sources (nullptr:
+  /// fresh wave). The checkpoint must come from a wave over the same
+  /// DistGraph, batch and sharing shape.
+  const WaveCheckpoint* resume_from = nullptr;
+  /// Lanes to resume (subset of the checkpoint's `active`); 0 means all of
+  /// them. Lanes the original wave retired after the exported epoch are
+  /// masked out here so the resumed wave does not redo them.
+  std::uint64_t resume_active = 0;
 };
 
 /// Reusable state of the wave kernel for one (graph, config, shape). Owns
@@ -183,6 +230,14 @@ class WaveState {
 /// crashes with checkpointing disabled.
 WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
                     std::span<const WaveQuery> queries);
+
+/// Fault-tolerant entry point: same as above plus an abort horizon, epoch
+/// checkpoint export and checkpoint resume (see WaveOptions). `queries`
+/// must be the *original* batch even when resuming — lane indices key the
+/// checkpoint and the per-lane results.
+WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
+                    std::span<const WaveQuery> queries,
+                    const WaveOptions& opts);
 
 /// Assemble lane `lane`'s global distance array (kUnreached where the lane
 /// never discovered the vertex).

@@ -1,6 +1,8 @@
 #include "faults/fault_plan.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,6 +15,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::msg_corrupt: return "corrupt";
     case FaultKind::straggler: return "straggle";
     case FaultKind::rank_crash: return "crash";
+    case FaultKind::replica_outage: return "outage";
   }
   return "?";
 }
@@ -28,6 +31,13 @@ bool FaultPlan::has_crashes() const {
   for (const FaultEvent& e : events)
     if (e.kind == FaultKind::rank_crash) return true;
   return false;
+}
+
+double FaultPlan::outage_at_ns() const {
+  double at = std::numeric_limits<double>::infinity();
+  for (const FaultEvent& e : events)
+    if (e.kind == FaultKind::replica_outage) at = std::min(at, e.from_ns);
+  return at;
 }
 
 namespace {
@@ -112,9 +122,34 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       e.kind = FaultKind::straggler;
     else if (kind == "crash")
       e.kind = FaultKind::rank_crash;
+    else if (kind == "outage")
+      e.kind = FaultKind::replica_outage;
     else
-      parse_fail(token, "unknown kind '" + kind +
-                            "' (want crash|drop|corrupt|straggle|degrade|flap)");
+      parse_fail(token,
+                 "unknown kind '" + kind +
+                     "' (want crash|drop|corrupt|straggle|degrade|flap|outage)");
+
+    // Only the parameters that can affect this kind are accepted; a
+    // parameter the event would silently ignore is a spec bug.
+    const auto allowed = [&](const std::string& key) {
+      switch (e.kind) {
+        case FaultKind::rank_crash:
+          return key == "rank" || key == "level";
+        case FaultKind::replica_outage:
+          return key == "at";
+        case FaultKind::straggler:
+          return key == "rank" || key == "factor" || key == "from" ||
+                 key == "until" || key == "period" || key == "duty";
+        case FaultKind::msg_drop:
+        case FaultKind::msg_corrupt:
+          return key == "prob" || key == "rank" || key == "from" ||
+                 key == "until" || key == "period" || key == "duty";
+        case FaultKind::link_degrade:
+          return key == "node" || key == "factor" || key == "from" ||
+                 key == "until" || key == "period" || key == "duty";
+      }
+      return false;
+    };
 
     for (const std::string& kv : split(rest, '@')) {
       const std::size_t eq = kv.find('=');
@@ -122,6 +157,9 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         parse_fail(token, "parameter '" + kv + "' is not key=value");
       const std::string key = kv.substr(0, eq);
       const std::string val = kv.substr(eq + 1);
+      if (!allowed(key))
+        parse_fail(token, "parameter '" + key + "' has no effect on a '" +
+                              kind + "' event");
       if (key == "node")
         e.node = parse_int(token, key, val);
       else if (key == "rank")
@@ -132,7 +170,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         e.factor = parse_num(token, key, val);
       else if (key == "prob")
         e.probability = parse_num(token, key, val);
-      else if (key == "from")
+      else if (key == "from" || key == "at")
         e.from_ns = parse_num(token, key, val);
       else if (key == "until")
         e.until_ns = parse_num(token, key, val);
@@ -168,13 +206,51 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       case FaultKind::rank_crash:
         if (e.rank < 0) parse_fail(token, "crash needs rank=R");
         if (e.level < 0) parse_fail(token, "crash needs level=L >= 0");
+        if (e.level > kMaxPlausibleCrashLevel)
+          parse_fail(token, "crash level " + std::to_string(e.level) +
+                                " is beyond any plausible BFS depth (max " +
+                                std::to_string(kMaxPlausibleCrashLevel) +
+                                "); the crash would never fire");
+        break;
+      case FaultKind::replica_outage:
+        if (!(e.from_ns >= 0.0))
+          parse_fail(token, "outage needs at=NS >= 0");
         break;
     }
     if (e.until_ns <= e.from_ns)
       parse_fail(token, "until must be greater than from");
     plan.events.push_back(e);
   }
+  plan.validate();
   return plan;
+}
+
+void FaultPlan::validate() const {
+  std::vector<int> crash_ranks;
+  int outages = 0;
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::rank_crash) {
+      if (std::find(crash_ranks.begin(), crash_ranks.end(), e.rank) !=
+          crash_ranks.end())
+        throw std::invalid_argument(
+            "FaultPlan: duplicate crash of rank " + std::to_string(e.rank) +
+            " (a rank dies once; keep the earlier level)");
+      crash_ranks.push_back(e.rank);
+      if (e.level > kMaxPlausibleCrashLevel)
+        throw std::invalid_argument(
+            "FaultPlan: crash level " + std::to_string(e.level) +
+            " is beyond any plausible BFS depth (max " +
+            std::to_string(kMaxPlausibleCrashLevel) + ")");
+    }
+    if (e.kind == FaultKind::replica_outage && ++outages > 1)
+      throw std::invalid_argument(
+          "FaultPlan: more than one replica outage (the replica dies once; "
+          "keep the earliest outage:at=...)");
+    if (e.until_ns <= e.from_ns)
+      throw std::invalid_argument(
+          "FaultPlan: event '" + std::string(to_string(e.kind)) +
+          "' has an empty activity window (until <= from)");
+  }
 }
 
 std::string FaultPlan::describe() const {
@@ -200,6 +276,9 @@ std::string FaultPlan::describe() const {
         os << "(p=" << e.probability;
         if (e.rank >= 0) os << " r" << e.rank;
         os << ')';
+        break;
+      case FaultKind::replica_outage:
+        os << "(at=" << e.from_ns << ')';
         break;
     }
   }

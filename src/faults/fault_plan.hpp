@@ -18,6 +18,15 @@
 ///   degrade:node=1@factor=0.25              node 1 NIC at 25% bandwidth
 ///   degrade:node=1@factor=0.5@from=1e6@until=5e6   ...only in a time window
 ///   flap:node=0@factor=0.1@period=2e6@duty=0.5     link flaps periodically
+///   outage:at=5e6                           whole replica dies at t=5ms
+///                                           (heartbeats stop; serving-tier
+///                                           failover, see frontdoor.hpp)
+///
+/// Parsing is strict: every event accepts only the parameters that can
+/// affect it, contradictory directives (two crashes of the same rank, more
+/// than one outage) and unreachable ones (a crash level beyond any
+/// plausible BFS depth, an empty activity window) are rejected at parse
+/// time with an actionable message instead of becoming silent no-ops.
 
 #include <cstdint>
 #include <limits>
@@ -27,14 +36,21 @@
 namespace numabfs::faults {
 
 enum class FaultKind {
-  link_degrade,  ///< NIC bandwidth of `node` scaled by `factor` while active
-  msg_drop,      ///< messages from `rank` (-1: any) dropped with `probability`
-  msg_corrupt,   ///< payloads from `rank` (-1: any) corrupted with `probability`
-  straggler,     ///< rank's charged time multiplied by `factor` while active
-  rank_crash,    ///< rank dies on entering BFS level `level`
+  link_degrade,   ///< NIC bandwidth of `node` scaled by `factor` while active
+  msg_drop,       ///< messages from `rank` (-1: any) dropped with `probability`
+  msg_corrupt,    ///< payloads from `rank` (-1: any) corrupted with `probability`
+  straggler,      ///< rank's charged time multiplied by `factor` while active
+  rank_crash,     ///< rank dies on entering BFS level `level`
+  replica_outage, ///< the whole cluster dies at virtual time `from_ns`
 };
 
 const char* to_string(FaultKind k);
+
+/// Crash levels beyond this are rejected at parse time: even a path graph
+/// at the largest simulated scale stays under 2^22 levels, and every
+/// small-world graph the benches traverse finishes in a few dozen — a
+/// larger level means the crash never fires, a silent no-op.
+inline constexpr int kMaxPlausibleCrashLevel = 1 << 22;
 
 struct FaultEvent {
   FaultKind kind = FaultKind::msg_drop;
@@ -64,14 +80,25 @@ struct FaultPlan {
 
   bool empty() const { return events.empty() && !checkpoint_forced_on; }
   bool has_crashes() const;
+  /// Virtual time at which the whole replica dies (the earliest
+  /// replica_outage event), or +inf when the plan has none.
+  double outage_at_ns() const;
   bool checkpointing() const {
     if (checkpoint_forced_off) return false;
     return checkpoint_forced_on || has_crashes();
   }
 
   /// Parse the `--faults=` syntax documented above. Throws
-  /// std::invalid_argument with an actionable message on malformed input.
+  /// std::invalid_argument with an actionable message on malformed input,
+  /// on per-event parameters that cannot affect the event, and on
+  /// cross-event contradictions (validate()).
   static FaultPlan parse(const std::string& spec);
+
+  /// Cross-event validation (parse() runs this): rejects duplicate crashes
+  /// of one rank, crash levels beyond kMaxPlausibleCrashLevel, more than
+  /// one replica outage, and empty activity windows. Throws
+  /// std::invalid_argument; safe to call on hand-built plans too.
+  void validate() const;
 
   /// Human-readable one-line summary (bench table labels).
   std::string describe() const;

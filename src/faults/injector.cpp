@@ -18,6 +18,7 @@ FaultInjector::FaultInjector(FaultPlan plan, int nranks, int ppn)
     : plan_(std::move(plan)),
       nranks_(nranks),
       ppn_(ppn),
+      outage_at_ns_(plan_.outage_at_ns()),
       crash_level_(static_cast<std::size_t>(nranks), -1),
       dead_(new std::atomic<bool>[static_cast<std::size_t>(nranks)]) {
   if (nranks < 1 || ppn < 1)

@@ -66,6 +66,19 @@ class FaultInjector {
     return crash_level_[static_cast<std::size_t>(rank)];
   }
 
+  /// Virtual time at which the whole replica dies (replica_outage event),
+  /// or +inf. After this instant no rank makes progress and no heartbeat
+  /// is answered; the serving tier's front door fails queries over.
+  double outage_at_ns() const { return outage_at_ns_; }
+
+  /// Heartbeat-loss verdict: does a liveness probe sent at `now_ns` get an
+  /// answer? False once the replica outage has struck or every rank is
+  /// dead. Individual rank crashes keep heartbeats alive — the survivors
+  /// answer — so the replica reads as degraded, not down.
+  bool heartbeat_ok(double now_ns) const {
+    return now_ns < outage_at_ns_ && dead_count() < nranks_;
+  }
+
   // --- dynamic liveness --------------------------------------------------
 
   /// Forget all deaths (called by Cluster::run before launching ranks).
@@ -101,6 +114,7 @@ class FaultInjector {
   FaultPlan plan_;
   int nranks_;
   int ppn_;
+  double outage_at_ns_;
   std::vector<int> crash_level_;
   std::unique_ptr<std::atomic<bool>[]> dead_;
   std::atomic<int> dead_count_{0};

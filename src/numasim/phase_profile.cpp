@@ -30,6 +30,9 @@ Counters& Counters::operator+=(const Counters& o) {
   bytes_inter_node += o.bytes_inter_node;
   bytes_raw_equiv += o.bytes_raw_equiv;
   vertices_visited += o.vertices_visited;
+  retransmits += o.retransmits;
+  recv_timeouts += o.recv_timeouts;
+  adoptions += o.adoptions;
   return *this;
 }
 

@@ -43,6 +43,12 @@ struct Counters {
   /// codec-on runs expose the *measured* compression ratio.
   std::uint64_t bytes_raw_equiv = 0;
   std::uint64_t vertices_visited = 0;
+  // Robustness events (chaos mode). Counted where the runtime reacts, so
+  // fault handling is first-class observable alongside the kernel events.
+  std::uint64_t retransmits = 0;    ///< p2p/collective chunk re-sends after
+                                    ///< a drop or a checksum reject
+  std::uint64_t recv_timeouts = 0;  ///< finite recv waits that expired
+  std::uint64_t adoptions = 0;      ///< dead partitions adopted in recovery
 
   Counters& operator+=(const Counters& o);
 };

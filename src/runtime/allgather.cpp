@@ -126,6 +126,7 @@ coll_model::CollTimes allgather(Proc& p, Comm& comm,
         p.trace_instant(obs::kCatFault, "coll.drop",
                         obs::kv("from", peer) + "," + obs::kv("seq", seq) +
                             "," + obs::kv("attempt", attempt));
+        ++p.prof.counters().retransmits;
         fault_extra_ns += c.link().nic_transfer_ns(bytes, 1, c.node_of(peer),
                                                    p.node) +
                           coll_rto_ns(c.params(), attempt);
@@ -144,6 +145,7 @@ coll_model::CollTimes allgather(Proc& p, Comm& comm,
       p.trace_instant(obs::kCatFault, "coll.corrupt",
                       obs::kv("from", peer) + "," + obs::kv("seq", seq) + "," +
                           obs::kv("attempt", attempt));
+      ++p.prof.counters().retransmits;
       fault_extra_ns += 2.0 * c.params().nic_msg_latency_ns;
       if (attempt + 1 >= kCollMaxAttempts)
         throw faults::FaultError(

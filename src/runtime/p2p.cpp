@@ -67,6 +67,7 @@ void PostOffice::send(Proc& from, int to, std::span<const std::uint64_t> payload
       from.trace_instant(obs::kCatFault, "p2p.drop",
                          obs::kv("to", to) + "," + obs::kv("seq", seq) + "," +
                              obs::kv("attempt", attempt));
+      ++from.prof.counters().retransmits;
       from.charge(phase, ns + rto_ns(c.params(), attempt));
       if (attempt + 1 >= kMaxAttempts)
         throw faults::FaultError(
@@ -93,6 +94,7 @@ void PostOffice::send(Proc& from, int to, std::span<const std::uint64_t> payload
       from.trace_instant(obs::kCatFault, "p2p.corrupt",
                          obs::kv("to", to) + "," + obs::kv("seq", seq) + "," +
                              obs::kv("attempt", attempt));
+      ++from.prof.counters().retransmits;
       from.charge(phase, 2.0 * c.params().nic_msg_latency_ns);
       if (attempt + 1 >= kMaxAttempts)
         throw faults::FaultError(
@@ -147,6 +149,7 @@ std::vector<std::uint64_t> PostOffice::recv(Proc& self, int from,
         const double t0 = self.clock.now_ns();
         self.clock.charge_ns(timeout_ns);
         self.prof.add(phase, timeout_ns);
+        ++self.prof.counters().recv_timeouts;
         self.trace_span(obs::kCatTime, sim::to_string(phase), t0,
                         t0 + timeout_ns, "\"op\":\"recv_timeout\"");
       }
@@ -161,6 +164,7 @@ std::vector<std::uint64_t> PostOffice::recv(Proc& self, int from,
       const double t0 = self.clock.now_ns();
       self.clock.charge_ns(timeout_ns);
       self.prof.add(phase, timeout_ns);
+      ++self.prof.counters().recv_timeouts;
       self.trace_span(obs::kCatTime, sim::to_string(phase), t0,
                       t0 + timeout_ns, "\"op\":\"recv_timeout\"");
       throw faults::TimeoutError(
