@@ -1,86 +1,182 @@
-/// Future-work ablation: 1-D vs 2-D partitioning communication volume.
+/// The 256-node scale ceiling: measured weak scaling of the best 1-D
+/// variants vs the 2-D decomposition, locating the crossover where the
+/// O(n)-per-rank replicated frontier of the 1-D allgather loses to the
+/// 2-D's O(n/C) col-band expand + O(n/R)-band row fold (DESIGN.md §13).
 ///
-/// The paper's related-work section notes that its sharing/parallel-
-/// allgather machinery is orthogonal to Buluc & Madduri's 2-D partitioning
-/// and could be applied on top. This bench quantifies, on the calibrated
-/// model, the communication volumes and times of:
-///   - 1-D: allgather of the full frontier bitmap over all np ranks
-///     (volume m*(np-1), Eq. (1));
-///   - 2-D (r x c grid): an allgather along each processor column (frontier
-///     slices, volume m*(r-1) per column) plus an alltoall-style reduce
-///     along rows for the discovered updates (~m per row on dense levels).
-/// Shape expectation: 2-D's volume advantage grows with np — but the
-/// paper's sharing optimizations attack the same term and compose with it.
+/// Weak scaling: every rank count gets scale = base + round(log2(np)), so
+/// the per-rank share of vertices stays constant while the replication
+/// term of the 1-D exchange grows linearly with np. ppn=4 against 2 NIC
+/// ports per node makes the hierarchical collectives' injection
+/// serialization visible (columns touch one rank per node, so the
+/// node-aware column allgather sends 1 flow per node instead of ppn).
+///
+/// Cost model: cache-capacity scaling stays on (structure:LLC ratios of a
+/// scale-32 run, like every other bench) but the per-message alpha stays
+/// *physical* instead of shrinking with n. The default benches shrink alpha
+/// so the latency:bandwidth proportions of a 16-node run match the paper's
+/// multi-megabyte chunks; at hundreds of nodes the per-peer messages of a
+/// real scale-32 run are small and latency-dominated — exactly the term
+/// the hierarchical collectives attack — so scaling alpha away here would
+/// erase the effect this bench exists to measure.
+///
+/// Variants:
+///   1-D granularity  — the paper's full ladder (Fig. 9 best)
+///   1-D compressed   — + gated codec, K=4 pipelining (PR-4 best)
+///   2-D flat         — codec off, flat collectives
+///   2-D hier(node)   — node-aware column allgather / row alltoallv
+///   2-D hier+codec   — + gated codec on every leg, K=4
+///
+/// Metric keys (pinned by scripts/bench_baseline.py):
+///   ablation2d.n<nodes>.<variant>.harmonic_teps
+///   ablation2d.n<nodes>.<variant>.wire_bytes / .wire_raw_bytes (2-D only)
 
 #include <cmath>
 #include <iostream>
+#include <vector>
 
+#include "bfs2d/bfs2d.hpp"
 #include "common.hpp"
-#include "runtime/coll_model.hpp"
+#include "graph/validate.hpp"
 
 int main(int argc, char** argv) {
   using namespace numabfs;
-  namespace cm = rt::coll_model;
   harness::Options opt(argc, argv);
-  const int scale = opt.get_int_min("scale", 30, 1);
+  const int base_scale = opt.get_int_min("base-scale", 11, 1);
+  // Default chosen so the crossover lands inside the sweep: the 1-D wins
+  // at 4 nodes, the 2-D takes over at 16 and pulls away through 256.
+  const int roots = opt.get_int("roots", 2);
+  const int max_nodes = opt.get_int("max-nodes", 256);
+  const int ppn = opt.get_int("ppn", 4);
+  const int edgefactor = opt.get_int("edgefactor", 8);
+  const std::uint64_t seed = opt.get_u64("seed", 20120924);
 
-  bench::print_header("Ablation (future work)",
-                      "1-D vs 2-D partitioning: modeled comm per level",
-                      "scale " + std::to_string(scale) +
-                          " frontier bitmap; ppn=8, square-ish grids");
+  bench::print_header(
+      "2-D crossover (measured weak scaling)",
+      "best 1-D variants vs 2-D flat/hier/codec up to 256 simulated nodes",
+      "weak scaling: scale = " + std::to_string(base_scale) +
+          " + round(log2(np)), ppn=" + std::to_string(ppn) + ", edgefactor " +
+          std::to_string(edgefactor));
 
-  const std::uint64_t m = (1ull << scale) / 8;  // frontier bitmap bytes
+  obs::Registry reg;
+  std::shared_ptr<obs::Tracer> tracer;  // attached to the smallest cluster
 
-  harness::Table t(
-      {"nodes", "np", "1-D volume", "2-D volume", "1-D time", "2-D time"});
-  for (int nodes : {4, 16, 64}) {
-    rt::Cluster c(sim::Topology::xeon_x7550_cluster(nodes), sim::CostParams{},
-                  8);
-    const int np = c.nranks();
-    // Square-ish grid: r*cn = np.
-    int r = 1;
-    while ((r << 1) * (r << 1) <= np) r <<= 1;
-    const int cn = np / r;
+  harness::Table t({"nodes", "np", "grid", "scale", "1-D gran", "1-D codec",
+                    "2-D flat", "2-D hier", "2-D hier+codec"});
+  struct Row {
+    int nodes = 0;
+    double best_1d = 0, best_2d = 0;
+  };
+  std::vector<Row> rows;
+  bool codec_reduced_everywhere = true;
 
-    const std::uint64_t v1 = cm::allgather_volume_bytes(m, np);
-    // 2-D: column allgathers move m*(r-1)/... each of cn columns allgathers
-    // its m/cn slice over r members; row exchange moves ~m/r per row pair.
-    const std::uint64_t v2 =
-        static_cast<std::uint64_t>(cn) *
-            cm::allgather_volume_bytes(m / static_cast<std::uint64_t>(cn), r) +
-        static_cast<std::uint64_t>(r) *
-            cm::allgather_volume_bytes(m / static_cast<std::uint64_t>(r), cn) /
-            2;
+  for (int nodes : {4, 16, 64, 144, 256}) {
+    if (nodes > max_nodes) break;
+    const int np = nodes * ppn;
+    const int scale =
+        base_scale +
+        static_cast<int>(std::lround(std::log2(static_cast<double>(np))));
+    const harness::GraphBundle bundle =
+        harness::GraphBundle::make(scale, edgefactor, seed);
+    harness::ExperimentOptions eo;
+    eo.nodes = nodes;
+    eo.ppn = ppn;
+    // Scale-32 cache ratios, physical alpha (see the header comment).
+    eo.paper_cache_scaling = false;
+    eo.params.capacity_scale =
+        static_cast<double>(1ull << 32) /
+        static_cast<double>(bundle.params.num_vertices());
+    harness::Experiment e(bundle, eo);
+    if (tracer == nullptr) tracer = bench::make_tracer(opt, e.cluster());
+    const std::string prefix = "ablation2d.n" + std::to_string(nodes);
 
-    // Times on the model: 1-D = the paper's optimized plan (share-all +
-    // parallel subgroups); 2-D = ring allgather inside each column (all
-    // columns concurrent, so ppn flows share each NIC), then a half-volume
-    // row exchange for the discovered updates.
-    const std::uint64_t chunk = m / static_cast<std::uint64_t>(np);
-    const double t1 =
-        cm::leader_allgather(c, chunk, false, false, 8).total_ns;
-    const auto& cp = c.params();
-    const double flow_bw = c.link().nic_flow_bw(8);
-    const auto ring = [&](int members, std::uint64_t bytes_per_step) {
-      return members > 1 ? (members - 1) *
-                               (cp.nic_msg_latency_ns +
-                                static_cast<double>(bytes_per_step) / flow_bw)
-                         : 0.0;
+    Row row;
+    row.nodes = nodes;
+    const auto run_1d = [&](const std::string& name, const bfs::Config& cfg) {
+      const harness::EvalResult r = e.run(cfg, roots);
+      bench::record_eval(reg, prefix + "." + name, r);
+      row.best_1d = std::max(row.best_1d, r.harmonic_teps);
+      return r.harmonic_teps;
     };
-    const double col =
-        ring(r, m / static_cast<std::uint64_t>(cn) /
-                    static_cast<std::uint64_t>(r));
-    const double row = 0.5 * ring(cn, m / static_cast<std::uint64_t>(r) /
-                                          static_cast<std::uint64_t>(cn));
+    const double t1g = run_1d("oned_gran", bfs::granularity(256));
+    const double t1c = run_1d("oned_codec", bfs::compressed(256, 4));
+
+    const bfs2d::Grid2d grid =
+        bfs2d::Grid2d::make(bundle.csr.num_vertices(), np, ppn);
+    const bfs2d::DistGraph2d d2 = bfs2d::DistGraph2d::build(bundle.csr, grid);
+    std::uint64_t wire_off = 0, wire_codec = 0;
+    const auto run_2d = [&](const std::string& name,
+                            const bfs2d::Bfs2dOptions& o2) {
+      std::vector<double> teps;
+      std::uint64_t wire = 0, raw = 0;
+      for (int i = 0; i < roots; ++i) {
+        const graph::Vertex root = bundle.roots[static_cast<size_t>(i)];
+        std::vector<graph::Vertex> parent;
+        const bfs2d::Bfs2dResult r =
+            bfs2d::run_bfs_2d(e.cluster(), d2, root, &parent, o2);
+        const auto v = graph::validate_bfs_tree(bundle.csr, root, parent);
+        if (!v.ok) {
+          std::cerr << "2-D validation failed (" << name << ", " << nodes
+                    << " nodes): " << v.error << "\n";
+          std::exit(1);
+        }
+        teps.push_back(r.teps());
+        for (const auto& lt : r.trace) {
+          wire += lt.wire_bytes();
+          raw += lt.wire_raw_bytes();
+        }
+      }
+      const double hm = harness::harmonic_mean(teps);
+      reg.gauge(prefix + "." + name + ".harmonic_teps").set(hm);
+      reg.counter(prefix + "." + name + ".wire_bytes").add(wire);
+      reg.counter(prefix + "." + name + ".wire_raw_bytes").add(raw);
+      row.best_2d = std::max(row.best_2d, hm);
+      if (name == "twod_flat") wire_off = wire;
+      if (name == "twod_hier_codec") wire_codec = wire;
+      return hm;
+    };
+    bfs2d::Bfs2dOptions flat;
+    const double t2f = run_2d("twod_flat", flat);
+    bfs2d::Bfs2dOptions hier;
+    hier.hier = rt::coll_model::HierLevel::node;
+    const double t2h = run_2d("twod_hier", hier);
+    bfs2d::Bfs2dOptions hc = hier;
+    hc.codec = bfs::CodecMode::gate;
+    hc.exchange_chunks = 4;
+    const double t2hc = run_2d("twod_hier_codec", hc);
+    if (wire_codec >= wire_off) codec_reduced_everywhere = false;
+
     t.row({std::to_string(nodes), std::to_string(np),
-           harness::Table::fmt(static_cast<double>(v1) / (1 << 20), 0) + " MB",
-           harness::Table::fmt(static_cast<double>(v2) / (1 << 20), 0) + " MB",
-           harness::Table::ms(t1, 1), harness::Table::ms(col + row, 1)});
+           std::to_string(grid.rows()) + "x" + std::to_string(grid.cols()),
+           std::to_string(scale), harness::Table::gteps(t1g),
+           harness::Table::gteps(t1c), harness::Table::gteps(t2f),
+           harness::Table::gteps(t2h), harness::Table::gteps(t2hc)});
+    rows.push_back(row);
   }
   t.print(std::cout);
 
-  std::cout << "\n2-D cuts the replicated-frontier volume from O(np) to"
-               " O(sqrt(np)) copies; the paper's sharing + parallel"
-               " allgather attack the constant factor and compose with it\n";
+  int crossover = -1;
+  for (const Row& r : rows)
+    if (r.best_2d > r.best_1d) {
+      crossover = r.nodes;
+      break;
+    }
+  if (crossover > 0)
+    std::cout << "\ncrossover: the 2-D takes over at " << crossover
+              << " nodes";
+  else
+    std::cout << "\ncrossover: not reached in this sweep (1-D still ahead)";
+  if (!rows.empty()) {
+    const Row& last = rows.back();
+    std::cout << "; at " << last.nodes << " nodes best 2-D / best 1-D = "
+              << harness::Table::fmt(last.best_2d / last.best_1d, 2) << "x\n";
+  } else {
+    std::cout << "\n";
+  }
+  std::cout << "codec-gated 2-D wire bytes "
+            << (codec_reduced_everywhere ? "below" : "NOT below")
+            << " codec-off 2-D at every measured size\n";
+
+  bench::write_metrics(opt, reg);
+  bench::write_trace(opt, tracer);
   return 0;
 }

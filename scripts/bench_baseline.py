@@ -34,6 +34,11 @@ BENCHES = [
     ("ablation", "bench_ablation_compression",
      ["--scale=13", "--roots=1", "--nodes=4", "--ppn=2", "--weak=0"]),
     ("failover", "bench_failover", ["--soak-short"]),
+    # The 2-D crossover sweep runs to 256 nodes so the gate pins the scale
+    # ceiling itself, not a small-shape proxy (~40 s of virtual-cluster
+    # time; every value is still bit-reproducible).
+    ("ablation2d", "bench_ablation_2d",
+     ["--base-scale=11", "--roots=1", "--max-nodes=256", "--ppn=4"]),
 ]
 
 # Pinned series: (metric key, direction). "up" = bigger is better (a drop
@@ -55,6 +60,14 @@ SERIES = [
     ("failover.chaos.full.attainment", "up"),
     ("failover.chaos.failover_blip_ns", "down"),
     ("failover.chaos.shed_rate", "down"),
+    # 2-D weak scaling past the 1-D ceiling: hier-collective TEPS at the
+    # three largest sizes, the 1-D reference it must beat at 256 nodes, and
+    # the codec's wire-byte reduction against the codec-off 2-D run.
+    ("ablation2d.n64.twod_hier.harmonic_teps", "up"),
+    ("ablation2d.n144.twod_hier.harmonic_teps", "up"),
+    ("ablation2d.n256.twod_hier.harmonic_teps", "up"),
+    ("ablation2d.n256.oned_gran.harmonic_teps", "up"),
+    ("ablation2d.n256.twod_hier_codec.wire_bytes", "down"),
 ]
 
 

@@ -38,7 +38,9 @@ run bench_fig15_weak_scaling --base-scale=$((15 + BOOST)) --svg="$OUT"
 run bench_fig16_granularity --scale=$((20 + BOOST)) --svg="$OUT"
 run bench_hybrid_vs_pure --scale=$((17 + BOOST))
 run bench_ablation_allgather
-run bench_ablation_2d
+run bench_ablation_2d --base-scale=$((11 + BOOST)) \
+    --trace="$OUT/bench_ablation_2d_trace.json" \
+    --metrics="$OUT/bench_ablation_2d_metrics.json"
 run bench_ablation_compression --scale=$((20 + BOOST)) --svg="$OUT" \
     --metrics="$OUT/bench_ablation_compression_metrics.json"
 run bench_2d_bfs --scale=$((18 + BOOST))

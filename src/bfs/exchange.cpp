@@ -29,6 +29,106 @@ std::pair<std::uint64_t, std::uint64_t> summary_range(const DistState& st,
 
 }  // namespace
 
+void decode_bitmap_checked(std::span<const std::uint8_t> in,
+                           std::span<std::uint64_t> words, const char* what,
+                           int src_rank) {
+  const std::size_t used = codec::decode_bitmap(in, words);
+  if (used != in.size())
+    throw std::invalid_argument(
+        std::string(what) + ": bitmap encoding from rank " +
+        std::to_string(src_rank) + " decoded " + std::to_string(used) +
+        " of " + std::to_string(in.size()) + " bytes");
+}
+
+GateResult gate_bitmap_chunks(
+    rt::Proc& p, rt::Comm& comm, CodecMode mode, int pipeline_chunks,
+    std::span<GateChunk> chunks, std::uint64_t chunk_words,
+    std::uint64_t chunk_bits, std::uint64_t decode_chunks, const UnitCosts& u,
+    sim::Phase phase,
+    const std::function<double(std::uint64_t)>& plan_total_ns) {
+  GateResult res;
+  res.wire_chunk_bytes = chunk_words * 8;
+  const int total = comm.size();
+  if (mode == CodecMode::off || total <= 1) return res;
+  const int K = std::max(1, pipeline_chunks);
+
+  // Chunks are skewed (R-MAT hubs cluster), and every collective plan moves
+  // each chunk once per hop, so the honest per-chunk wire charge — and the
+  // gate's input — is the *mean* encoded chunk, not the densest one:
+  // allreduce the summed popcount / encoded bytes and divide by the global
+  // chunk count (== comm size: one chunk per partition).
+  std::uint64_t my_pop = 0;
+  for (const GateChunk& ch : chunks)
+    for (std::uint64_t w : ch.words)
+      my_pop += static_cast<std::uint64_t>(std::popcount(w));
+  p.charge(phase, u.stream_pass_ns(chunk_words * chunks.size()));
+  const std::uint64_t mean_pop =
+      rt::allreduce_sum(p, comm, my_pop, sim::Phase::stall) /
+      static_cast<std::uint64_t>(total);
+
+  const double enc_est = u.stream_pass_ns(chunk_words);
+  const double dec_est = u.stream_pass_ns(decode_chunks * chunk_words);
+  const double raw_est = plan_total_ns(chunk_words * 8);
+  const double dense_est =
+      enc_est +
+      cm::pipelined2_ns(
+          plan_total_ns(codec::dense_estimate_bytes(chunk_words, mean_pop)),
+          dec_est, K);
+  const double sparse_est =
+      enc_est +
+      cm::pipelined2_ns(
+          plan_total_ns(codec::sparse_estimate_bytes(mean_pop, chunk_bits)),
+          dec_est, K);
+
+  // The estimates assume uniform density, but chunks are skewed, so a level
+  // whose *mean* density looks hopeless can still compress on its sparse
+  // chunks (each chunk falls back to raw + 1 at worst). Trial-encode
+  // whenever the analytic estimate lands within 1.5x of raw; the final pick
+  // is then made on the measured bytes, with the (already charged) encode
+  // pass sunk.
+  codec::Kind trial = codec::Kind::raw;
+  switch (mode) {
+    case CodecMode::force_dense:
+      trial = codec::Kind::dense_bitmap;
+      break;
+    case CodecMode::force_sparse:
+      trial = codec::Kind::sparse_list;
+      break;
+    default:
+      if (std::min(dense_est, sparse_est) < raw_est * 1.5)
+        trial = sparse_est <= dense_est ? codec::Kind::sparse_list
+                                       : codec::Kind::dense_bitmap;
+  }
+  if (trial == codec::Kind::raw) return res;
+
+  // Encode for real; wire time is then charged on the *measured*
+  // (allreduce-summed) encoded sizes, never on the gate's estimate.
+  std::uint64_t my_enc = 0;
+  for (GateChunk& ch : chunks) {
+    ch.enc->clear();
+    std::size_t nb;
+    if (trial == codec::Kind::dense_bitmap)
+      nb = codec::encode_dense(ch.words, *ch.enc,
+                               ch.guide ? &*ch.guide : nullptr,
+                               ch.guide_base_bit);
+    else
+      nb = codec::encode_bitmap_sparse(ch.words, *ch.enc);
+    my_enc += static_cast<std::uint64_t>(nb);
+    res.encode_ns += u.stream_pass_ns(chunk_words + (nb + 7) / 8);
+  }
+  p.charge(phase, res.encode_ns);
+  const std::uint64_t enc_mean =
+      (rt::allreduce_sum(p, comm, my_enc, sim::Phase::stall) +
+       static_cast<std::uint64_t>(total) - 1) /
+      static_cast<std::uint64_t>(total);
+  if (mode != CodecMode::gate ||
+      cm::pipelined2_ns(plan_total_ns(enc_mean), dec_est, K) < raw_est) {
+    res.kind = trial;
+    res.wire_chunk_bytes = enc_mean;
+  }
+  return res;
+}
+
 void clear_out_bits(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
                     const UnitCosts& u, sim::Phase phase) {
   const std::uint64_t block_words = dg.part.block() / 64;
@@ -269,97 +369,27 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   // Every rank computes the same decision from allreduced measured sparsity
   // and rank-uniform unit costs — the same SPMD-deterministic pattern as
   // the MS-BFS kernel chooser. A level near 50% density estimates above the
-  // raw wire cost and stays raw.
+  // raw wire cost and stays raw. The machinery itself is shared with the
+  // 2-D exchange (gate_bitmap_chunks); this call site only describes the
+  // 1-D out_queue chunks and the active allgather plan.
   const int K = std::max(1, cfg.exchange_chunks);
-  codec::Kind kind = codec::Kind::raw;
-  double enc_ns = 0.0;
-  std::uint64_t enc_mean = 0;
-  if (cfg.codec != CodecMode::off && np > 1) {
-    // Frontier chunks are skewed (R-MAT hubs cluster), and every collective
-    // plan moves each chunk once per hop, so the honest per-chunk wire
-    // charge — and the gate's input — is the *mean* encoded chunk, not the
-    // densest one: allreduce the summed popcount / encoded bytes and divide
-    // by the np partitions.
-    std::uint64_t my_pop = 0;
-    int my_parts = 0;
-    for_owned_parts([&](int q) {
-      auto w = st.out_queue(q).words();
-      const std::uint64_t off = static_cast<std::uint64_t>(q) * block_words;
-      for (std::uint64_t i = 0; i < block_words; ++i)
-        my_pop += static_cast<std::uint64_t>(std::popcount(w[off + i]));
-      ++my_parts;
-    });
-    p.charge(phase, u.stream_pass_ns(block_words *
-                                     static_cast<std::uint64_t>(my_parts)));
-    const std::uint64_t mean_pop =
-        rt::allreduce_sum(p, world, my_pop, sim::Phase::stall) /
-        static_cast<std::uint64_t>(np);
-
-    const double enc_est = u.stream_pass_ns(block_words);
-    const double dec_est = u.stream_pass_ns(assemble_chunks * block_words);
-    const double raw_est = plan_time(qchunk_bytes).total_ns;
-    const double dense_est =
-        enc_est +
-        cm::pipelined2_ns(
-            plan_time(codec::dense_estimate_bytes(block_words, mean_pop)).total_ns,
-            dec_est, K);
-    const double sparse_est =
-        enc_est +
-        cm::pipelined2_ns(
-            plan_time(codec::sparse_estimate_bytes(mean_pop, block_bits)).total_ns,
-            dec_est, K);
-
-    // The estimates assume uniform density, but frontier chunks are skewed,
-    // so a level whose *mean* density looks hopeless can still compress on
-    // its sparse chunks (each chunk falls back to raw + 1 at worst). Trial-
-    // encode whenever the analytic estimate lands within 1.5x of raw; the
-    // final pick is then made on the measured bytes, with the (already
-    // charged) encode pass sunk.
-    codec::Kind trial = codec::Kind::raw;
-    switch (cfg.codec) {
-      case CodecMode::force_dense:
-        trial = codec::Kind::dense_bitmap;
-        break;
-      case CodecMode::force_sparse:
-        trial = codec::Kind::sparse_list;
-        break;
-      default:
-        if (std::min(dense_est, sparse_est) < raw_est * 1.5)
-          trial = sparse_est <= dense_est ? codec::Kind::sparse_list
-                                          : codec::Kind::dense_bitmap;
-    }
-
-    if (trial != codec::Kind::raw) {
-      // Encode for real; wire time below is charged on the *measured*
-      // (allreduce-summed) encoded sizes, never on the gate's estimate.
-      std::uint64_t my_enc = 0;
-      for_owned_parts([&](int q) {
-        auto& buf = st.enc_buf(q);
-        buf.clear();
-        auto w = st.out_queue(q).words().subspan(
-            static_cast<std::uint64_t>(q) * block_words, block_words);
-        std::size_t nb;
-        if (trial == codec::Kind::dense_bitmap) {
-          auto guide = st.out_summary(q);
-          nb = codec::encode_dense(w, buf, &guide,
-                                   static_cast<std::uint64_t>(q) * block_bits);
-        } else {
-          nb = codec::encode_bitmap_sparse(w, buf);
-        }
-        my_enc += static_cast<std::uint64_t>(nb);
-        enc_ns += u.stream_pass_ns(block_words + (nb + 7) / 8);
-      });
-      p.charge(phase, enc_ns);
-      enc_mean = (rt::allreduce_sum(p, world, my_enc, sim::Phase::stall) +
-                  static_cast<std::uint64_t>(np) - 1) /
-                 static_cast<std::uint64_t>(np);
-      if (cfg.codec != CodecMode::gate ||
-          cm::pipelined2_ns(plan_time(enc_mean).total_ns, dec_est, K) < raw_est)
-        kind = trial;
-    }
-  }
-  const std::uint64_t wire_chunk =
-      kind == codec::Kind::raw ? qchunk_bytes : enc_mean;
+  std::vector<GateChunk> gate_chunks;
+  for_owned_parts([&](int q) {
+    GateChunk ch;
+    ch.words = st.out_queue(q).words().subspan(
+        static_cast<std::uint64_t>(q) * block_words, block_words);
+    ch.guide = st.out_summary(q);
+    ch.guide_base_bit = static_cast<std::uint64_t>(q) * block_bits;
+    ch.enc = &st.enc_buf(q);
+    gate_chunks.push_back(ch);
+  });
+  const GateResult gate = gate_bitmap_chunks(
+      p, world, cfg.codec, K, gate_chunks, block_words, block_bits,
+      assemble_chunks, u, phase,
+      [&](std::uint64_t b) { return plan_time(b).total_ns; });
+  const codec::Kind kind = gate.kind;
+  const double enc_ns = gate.encode_ns;
+  const std::uint64_t wire_chunk = gate.wire_chunk_bytes;
 
   // --- data-plumbing helpers (real movement; time is modeled below) -----
   const auto copy_queue_chunk = [&](graph::BitmapView dst, int src_rank) {
@@ -372,13 +402,9 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
       const auto& buf = st.enc_buf(src_rank);
       // Strict framing (see exchange_sparse): the encoding must account for
       // every published byte, or the stream was corrupted.
-      const std::size_t used = codec::decode_bitmap(
-          {buf.data(), buf.size()}, dst.words().subspan(off, block_words));
-      if (used != buf.size())
-        throw std::invalid_argument(
-            "exchange_frontier: bitmap encoding from rank " +
-            std::to_string(src_rank) + " decoded " + std::to_string(used) +
-            " of " + std::to_string(buf.size()) + " bytes");
+      decode_bitmap_checked({buf.data(), buf.size()},
+                            dst.words().subspan(off, block_words),
+                            "exchange_frontier", src_rank);
       bytes = buf.size();
     }
     if (src_rank == p.rank) return;  // own chunk: no transmission (Eq. (1))
@@ -490,6 +516,35 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   ex.chunk_raw_bytes = qchunk_bytes;
   ex.chunk_wire_bytes = wire_chunk;
   return ex;
+}
+
+ExchangeLevelStats OneDExchange::exchange(rt::Proc& p, int cur_dir,
+                                          int next_dir,
+                                          std::span<const int> parts) {
+  ExchangeLevelStats s;
+  if (next_dir == 1) {
+    // Next level searches bottom-up: it needs the in_queue bitmap. A
+    // top-down level only produced a sparse list — materialize it
+    // ("Switch" in Fig. 11), then run the two allgathers of Fig. 1.
+    if (cur_dir == 0)
+      for (int q : parts) discovered_to_out_bits(p, st_, u_, q);
+    const ExchangeTimes ex =
+        exchange_frontier(p, dg_, st_, u_, sim::Phase::bu_comm, parts);
+    s.codec = ex.codec;
+    s.wire_bytes = ex.chunk_wire_bytes;
+    s.raw_bytes = ex.chunk_raw_bytes;
+    s.bitmap = true;
+  } else {
+    // Next level is top-down: the sparse list exchange suffices; when
+    // leaving bottom-up, the stale out bitmaps are wiped on the way.
+    const SparseExchangeStats sx =
+        exchange_sparse(p, dg_, st_, u_, sim::Phase::td_comm,
+                        /*wipe_out=*/cur_dir == 1, parts);
+    s.codec = sx.coded ? codec::Kind::sparse_list : codec::Kind::raw;
+    s.wire_bytes = sx.wire_bytes;
+    s.raw_bytes = sx.raw_bytes;
+  }
+  return s;
 }
 
 }  // namespace numabfs::bfs

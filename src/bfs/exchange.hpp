@@ -14,12 +14,15 @@
 /// (subgroup rings need every color alive on every node) and node
 /// leadership falls to the lowest live local rank.
 
+#include <functional>
+#include <optional>
 #include <span>
 
 #include "bfs/costs.hpp"
 #include "bfs/state.hpp"
 #include "graph/codec.hpp"
 #include "graph/dist_graph.hpp"
+#include "graph/summary.hpp"
 #include "runtime/cluster.hpp"
 
 namespace numabfs::bfs {
@@ -87,5 +90,90 @@ void clear_out_bits(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
 void clear_out_bits_part(rt::Proc& p, const graph::DistGraph& dg,
                          DistState& st, const UnitCosts& u, sim::Phase phase,
                          int part);
+
+// --- decomposition-agnostic codec gate (DESIGN.md §10/§13) ---------------
+// The per-level gate decides raw vs coded from allreduced *measured*
+// quantities, identically on every rank. It was written for the 1-D bitmap
+// allgather; the 2-D transpose/expand/fold legs reuse it by describing
+// their equal-geometry chunks and a plan-time function.
+
+/// One owned bitmap contribution to a gated exchange.
+struct GateChunk {
+  std::span<const std::uint64_t> words;   ///< the chunk on offer
+  std::optional<graph::SummaryView> guide;  ///< dense-encode guide, if any
+  std::uint64_t guide_base_bit = 0;
+  std::vector<std::uint8_t>* enc = nullptr;  ///< where the encoding lands
+};
+
+/// The gate's decision for one exchange leg.
+struct GateResult {
+  graph::codec::Kind kind = graph::codec::Kind::raw;
+  /// Mean measured encoded chunk (== raw chunk bytes when kind is raw);
+  /// the honest per-chunk wire charge for every collective plan.
+  std::uint64_t wire_chunk_bytes = 0;
+  double encode_ns = 0;  ///< modeled encode cost charged to this rank
+};
+
+/// Run the PR-4 codec gate over this rank's `chunks` (SPMD: all of `comm`
+/// participates): popcount + allreduce, analytic 1.5x pre-filter, trial
+/// encode, final pick on the allreduced measured bytes. `plan_total_ns`
+/// maps a per-chunk wire size to the modeled duration of the exchange's
+/// collective plan; `decode_chunks` is how many chunks one rank decodes.
+/// Chunks must share one geometry: `chunk_words` words covering
+/// `chunk_bits` vertex bits.
+GateResult gate_bitmap_chunks(
+    rt::Proc& p, rt::Comm& comm, CodecMode mode, int pipeline_chunks,
+    std::span<GateChunk> chunks, std::uint64_t chunk_words,
+    std::uint64_t chunk_bits, std::uint64_t decode_chunks, const UnitCosts& u,
+    sim::Phase phase, const std::function<double(std::uint64_t)>& plan_total_ns);
+
+/// Strict-framing decode of one gated bitmap chunk: the encoding must
+/// account for every published byte or the stream was corrupted. Throws
+/// std::invalid_argument naming `what` and the source rank.
+void decode_bitmap_checked(std::span<const std::uint8_t> in,
+                           std::span<std::uint64_t> words, const char* what,
+                           int src_rank);
+
+// --- unified frontier-exchange interface (DESIGN.md §13) -----------------
+
+/// What one frontier exchange moved, uniformly across decompositions.
+struct ExchangeLevelStats {
+  graph::codec::Kind codec = graph::codec::Kind::raw;
+  std::uint64_t wire_bytes = 0;  ///< measured bytes on the wire
+  std::uint64_t raw_bytes = 0;   ///< their uncoded equivalent
+  bool bitmap = false;           ///< bitmap family (vs sparse-list family)
+};
+
+/// The communication step between two BFS levels, behind which both the
+/// 1-D hybrid and the 2-D grid decomposition sit: rebuild the next level's
+/// frontier inputs from the per-rank outputs of the level just finished.
+/// SPMD — every live rank calls exchange() with the same (cur, next)
+/// directions (0 = top-down, 1 = bottom-up); `parts` lists the caller's
+/// partitions (own plus adopted). Implementations route every leg through
+/// the shared codec gate and K-chunk wire/decode pipelining.
+class FrontierExchange {
+ public:
+  virtual ~FrontierExchange() = default;
+  virtual const char* name() const = 0;
+  virtual ExchangeLevelStats exchange(rt::Proc& p, int cur_dir, int next_dir,
+                                      std::span<const int> parts) = 0;
+};
+
+/// The 1-D hybrid's exchange: sparse-list allgatherv before a top-down
+/// level, the two bitmap allgathers of Fig. 1 before a bottom-up level
+/// (materializing the discovered list into out bits on a td -> bu switch).
+class OneDExchange final : public FrontierExchange {
+ public:
+  OneDExchange(const graph::DistGraph& dg, DistState& st, const UnitCosts& u)
+      : dg_(dg), st_(st), u_(u) {}
+  const char* name() const override { return "1d"; }
+  ExchangeLevelStats exchange(rt::Proc& p, int cur_dir, int next_dir,
+                              std::span<const int> parts) override;
+
+ private:
+  const graph::DistGraph& dg_;
+  DistState& st_;
+  const UnitCosts& u_;
+};
 
 }  // namespace numabfs::bfs

@@ -166,6 +166,7 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
     const UnitCosts& u = costs[static_cast<size_t>(p.rank)];
     rt::Comm& world = c.world();
     const auto& lg = dg.locals[static_cast<size_t>(p.rank)];
+    OneDExchange exchanger(dg, st, u);
     // The partitions this rank executes: its own, plus any adopted from
     // crashed ranks. Recomputed whenever a death is detected.
     std::vector<int> parts{p.rank};
@@ -319,41 +320,17 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
       }
 
       // The bitmap allgathers belong to the bottom-up procedure (Fig. 1);
-      // the sparse list exchange is the top-down queue handoff.
-      if (next == 1) {
-        // Next level searches bottom-up: it needs the in_queue bitmap. A
-        // top-down level only produced a sparse list — materialize it
-        // ("Switch" in Fig. 11), then run the two allgathers of Fig. 1.
-        if (dir == 0)
-          for (int q : parts) discovered_to_out_bits(p, st, u, q);
-        const ExchangeTimes ex =
-            exchange_frontier(p, dg, st, u, sim::Phase::bu_comm, parts);
-        p.trace_instant(
-            obs::kCatBfs, "codec.gate",
-            obs::kv("level", level) + "," +
-                obs::kv("kind", graph::codec::to_string(ex.codec)) + "," +
-                obs::kv("wire_bytes", ex.chunk_wire_bytes) + "," +
-                obs::kv("raw_bytes", ex.chunk_raw_bytes));
-        if (p.rank == recorder) {
-          shared.bu_ex++;
-          shared.ex_codec.push_back(static_cast<int>(ex.codec));
-        }
-      } else {
-        // Next level is top-down: the sparse list exchange suffices; when
-        // leaving bottom-up, the stale out bitmaps are wiped on the way.
-        const SparseExchangeStats sx = exchange_sparse(
-            p, dg, st, u, sim::Phase::td_comm, /*wipe_out=*/dir == 1, parts);
-        p.trace_instant(obs::kCatBfs, "codec.gate",
-                        obs::kv("level", level) + "," +
-                            obs::kv("kind", sx.coded ? "sparse_list" : "raw") +
-                            "," + obs::kv("wire_bytes", sx.wire_bytes) + "," +
-                            obs::kv("raw_bytes", sx.raw_bytes));
-        if (p.rank == recorder) {
-          shared.td_ex++;
-          shared.ex_codec.push_back(
-              sx.coded ? static_cast<int>(graph::codec::Kind::sparse_list)
-                       : static_cast<int>(graph::codec::Kind::raw));
-        }
+      // the sparse list exchange is the top-down queue handoff. Both sit
+      // behind the unified FrontierExchange interface (DESIGN.md §13).
+      const ExchangeLevelStats ex = exchanger.exchange(p, dir, next, parts);
+      p.trace_instant(obs::kCatBfs, "codec.gate",
+                      obs::kv("level", level) + "," +
+                          obs::kv("kind", graph::codec::to_string(ex.codec)) +
+                          "," + obs::kv("wire_bytes", ex.wire_bytes) + "," +
+                          obs::kv("raw_bytes", ex.raw_bytes));
+      if (p.rank == recorder) {
+        (ex.bitmap ? shared.bu_ex : shared.td_ex)++;
+        shared.ex_codec.push_back(static_cast<int>(ex.codec));
       }
       record_level();
       p.trace_span(obs::kCatBfs, "level " + std::to_string(level), level_t0,

@@ -1,122 +1,196 @@
 #pragma once
 /// \file bfs2d.hpp
-/// 2-D partitioned top-down BFS (Buluc & Madduri, SC'11) — the paper's
-/// related-work pointer implemented: "our implementation could be applied
-/// to the 2-D partition algorithm to further reduce its communication
-/// overhead. Actually, they are orthogonal."
+/// 2-D partitioned BFS (Buluc & Madduri, arXiv:1104.4518) as a first-class
+/// peer of the 1-D hybrid: direction-optimizing level loop, the PR-4 codec
+/// gate and K-chunk pipelining on every exchange leg, hierarchical
+/// row/column collectives (arXiv:1705.04590), fault tolerance via the
+/// checkpoint/adoption path, and obs spans through every phase.
 ///
-/// Processors form a square R x R grid (rank = i*R + j). The adjacency
-/// matrix is blocked: rank (i,j) stores the edges from column-band j into
-/// row-band i. One level runs in four steps:
-///   1. *transpose*: each rank sends its owned frontier piece (slice j of
-///      row-band i) to rank (j,i) — with a square grid, row-band i and
-///      col-band i coincide, so column i then holds its col-band pieces;
+/// Processors form an R x C grid (rank = i*C + j). Vertices are split into
+/// R*C equal pieces; piece g is owned by rank g (row-major), so row-band i
+/// = pieces [i*C, (i+1)*C) and col-band j = pieces [j*R, (j+1)*R). The
+/// adjacency matrix is blocked: rank (i,j) stores the edges from col-band j
+/// into row-band i. One level runs as:
+///   1. *transpose*: the owner of piece g sends it to the column member
+///      that assembles slot g%R of col-band g/R;
 ///   2. *expand*: allgather along each processor column assembles the full
-///      col-band frontier bitmap on every member;
-///   3. *local scan*: each rank walks its groups (sources in its col-band)
-///      and emits (child, parent) candidates for its row-band;
-///   4. *fold*: candidates are routed along the processor row to the
-///      child's owner, which deduplicates against `visited` and extends
-///      the tree.
-/// With C = ppn and R = nodes, rows are intra-node and columns are
-/// inter-node — the layout the paper's NUMA optimizations would compose
-/// with. Communication volume per level is O(n/sqrt(np)) per rank instead
-/// of the 1-D allgather's O(n): `bench_2d_bfs` quantifies the crossover.
-///
-/// Only the *traditional* (top-down) algorithm is implemented, matching
-/// the baseline Buluc & Madduri describe; direction-optimization on 2-D is
-/// out of scope here as it was for the paper.
+///      col-band frontier bitmap on every member (O(n/C) per rank — the
+///      volume law that beats the 1-D allgather's O(n) at scale);
+///   3. *local scan*: top-down walks the frontier's groups; bottom-up walks
+///      the unvisited row-band targets probing the col-band bitmap through
+///      its Fig. 8 summary;
+///   4. *fold*: (child, parent) claims are routed along the processor row
+///      to the child's owner, which deduplicates against `visited`;
+///   5. *claim-return* (bottom-up levels): a row allgather of the new
+///      frontier pieces keeps every member's row-band visited replica
+///      current, so the next bottom-up scan can skip settled targets.
+/// With ppn | C, a row spans C/ppn whole nodes and a column touches one
+/// rank per node — rows intra-node, columns inter-node, the layout the
+/// paper's NUMA optimizations compose with.
 
 #include <cstdint>
 #include <vector>
 
+#include "bfs/config.hpp"
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
 #include "numasim/phase_profile.hpp"
 #include "runtime/cluster.hpp"
+#include "runtime/coll_model.hpp"
 
 namespace numabfs::bfs2d {
 
-/// Square processor grid over the cluster's ranks (requires nranks to be a
-/// perfect square) and the conformal vertex distribution.
+/// Rectangular R x C processor grid over the cluster's ranks and the
+/// conformal vertex distribution (piece g -> rank g, row-major).
 class Grid2d {
  public:
-  /// `np` must be a perfect square; vertices are padded so every piece is
-  /// word-aligned.
-  Grid2d(std::uint64_t n, int np);
+  /// Explicit shape; vertices are padded so every piece is word-aligned.
+  Grid2d(std::uint64_t n, int rows, int cols);
 
-  int r() const { return r_; }             ///< grid side (R = C)
-  int np() const { return r_ * r_; }
+  /// Choose the most-square R x C factorization of `np` whose column count
+  /// is a multiple of `ppn` (so rows span whole nodes and columns touch one
+  /// rank per node). Throws std::invalid_argument naming the nearest valid
+  /// rank counts when `np` admits no such grid.
+  static Grid2d make(std::uint64_t n, int np, int ppn = 1);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int np() const { return rows_ * cols_; }
   std::uint64_t n() const { return n_; }
   std::uint64_t padded() const { return padded_; }
-  std::uint64_t band_bits() const { return padded_ / r_; }   ///< row/col band
-  std::uint64_t piece_bits() const { return band_bits() / r_; }
+  std::uint64_t piece_bits() const {
+    return padded_ / static_cast<std::uint64_t>(np());
+  }
+  std::uint64_t band_bits() const { return piece_bits() * cols_; }  ///< row
+  std::uint64_t colband_bits() const { return piece_bits() * rows_; }
 
-  int row_of(int rank) const { return rank / r_; }
-  int col_of(int rank) const { return rank % r_; }
-  int rank_at(int i, int j) const { return i * r_ + j; }
+  int row_of(int rank) const { return rank / cols_; }
+  int col_of(int rank) const { return rank % cols_; }
+  int rank_at(int i, int j) const { return i * cols_ + j; }
 
-  /// Owner of vertex v: row i = band, slice j within the band.
+  /// Owner of vertex v: piece index == rank (row-major distribution).
   int owner(std::uint64_t v) const {
-    const int i = static_cast<int>(v / band_bits());
-    const int j = static_cast<int>(v % band_bits() / piece_bits());
-    return rank_at(i, j);
+    return static_cast<int>(v / piece_bits());
   }
   std::uint64_t piece_begin(int rank) const {
-    return static_cast<std::uint64_t>(row_of(rank)) * band_bits() +
-           static_cast<std::uint64_t>(col_of(rank)) * piece_bits();
+    return static_cast<std::uint64_t>(rank) * piece_bits();
   }
+  std::uint64_t band_begin(int i) const {
+    return static_cast<std::uint64_t>(i) * band_bits();
+  }
+  std::uint64_t colband_begin(int j) const {
+    return static_cast<std::uint64_t>(j) * colband_bits();
+  }
+
+  /// The column member that assembles piece `g` (= rank g) for the expand:
+  /// slot g % R of col-band g / R.
+  int transpose_dest(int g) const {
+    return (g % rows_) * cols_ + g / rows_;
+  }
+  /// The piece assembled at slot `k` of column `j`'s col-band.
+  int transpose_src(int k, int j) const { return j * rows_ + k; }
 
  private:
   std::uint64_t n_;
-  int r_;
+  int rows_;
+  int cols_;
   std::uint64_t padded_;
 };
 
 /// Rank (i,j)'s matrix block: edges u (in col-band j) -> v (in row-band i),
-/// grouped by source u.
+/// stored in both orientations — by source for top-down scans, by target
+/// for bottom-up probes.
 struct Block2d {
-  std::vector<graph::Vertex> keys;          ///< distinct sources, ascending
-  std::vector<std::uint64_t> offsets;       ///< size keys+1
-  std::vector<graph::Vertex> targets;       ///< children in row-band i
+  std::vector<graph::Vertex> keys;      ///< distinct sources, ascending
+  std::vector<std::uint64_t> offsets;   ///< size keys+1
+  std::vector<graph::Vertex> targets;   ///< children in row-band i
+
+  std::vector<graph::Vertex> bu_keys;     ///< distinct targets, ascending
+  std::vector<std::uint64_t> bu_offsets;  ///< size bu_keys+1
+  std::vector<graph::Vertex> bu_sources;  ///< parents in col-band j
+
   std::uint64_t edges() const { return targets.size(); }
 };
 
-/// The distributed 2-D graph: one block per rank.
+/// The distributed 2-D graph: one block per rank, plus each piece's global
+/// degrees (for the direction heuristic and traversed-edge accounting).
 struct DistGraph2d {
   Grid2d grid;
   std::uint64_t directed_edges = 0;
   std::vector<Block2d> blocks;
+  /// piece_deg[rank][off] = degree of vertex piece_begin(rank) + off.
+  std::vector<std::vector<std::uint64_t>> piece_deg;
+  /// Sum of the piece's degrees (the partition's share of Eq. (1)'s m).
+  std::vector<std::uint64_t> owned_edges;
 
   static DistGraph2d build(const graph::Csr& g, const Grid2d& grid);
 };
 
 struct Bfs2dOptions {
-  /// Apply the paper's sharing idea to the 2-D *fold*: with C = ppn the row
-  /// exchange is intra-node, so candidate buffers can live in node-shared
-  /// segments and peers read them directly instead of through the MPI
-  /// shared-memory channel's copy-in/copy-out bounce — the composition the
-  /// paper's related-work section calls orthogonal.
-  bool shared_fold = false;
+  bfs::Direction direction = bfs::Direction::hybrid;
+  double alpha = 14.0;  ///< td -> bu when mf > rem / alpha (Beamer)
+  double beta = 24.0;   ///< bu -> td when nf < n / beta
+  /// Exchange codec (DESIGN.md §10) applied to the transpose/expand pieces,
+  /// the fold's claim lists, and the claim-return pieces.
+  bfs::CodecMode codec = bfs::CodecMode::off;
+  int exchange_chunks = 1;  ///< K-chunk wire/decode pipelining
+  /// Hierarchy level of the column allgather and row alltoallv.
+  rt::coll_model::HierLevel hier = rt::coll_model::HierLevel::flat;
+  std::uint64_t summary_granularity = 64;  ///< col-band summary (Fig. 8)
+};
+
+/// Per-level record of what the 2-D loop measured (summed over ranks),
+/// mirroring the 1-D LevelTrace for the volume-law property tests.
+struct Level2dTrace {
+  int level = 0;
+  int direction = 0;  ///< 0 = top-down, 1 = bottom-up
+  std::uint64_t frontier_vertices = 0;
+  std::uint64_t discovered = 0;
+  int expand_codec = 0;   ///< graph::codec::Kind of the transpose/expand gate
+  bool fold_coded = false;
+  std::uint64_t transpose_wire_bytes = 0, transpose_raw_bytes = 0;
+  std::uint64_t expand_wire_bytes = 0, expand_raw_bytes = 0;
+  std::uint64_t fold_wire_bytes = 0, fold_raw_bytes = 0;
+  std::uint64_t return_wire_bytes = 0, return_raw_bytes = 0;
+
+  std::uint64_t wire_bytes() const {
+    return transpose_wire_bytes + expand_wire_bytes + fold_wire_bytes +
+           return_wire_bytes;
+  }
+  std::uint64_t wire_raw_bytes() const {
+    return transpose_raw_bytes + expand_raw_bytes + fold_raw_bytes +
+           return_raw_bytes;
+  }
 };
 
 struct Bfs2dResult {
   double time_ns = 0;
   std::uint64_t visited = 0;
   int levels = 0;
-  sim::PhaseProfile profile_avg;
+  int td_levels = 0;
+  int bu_levels = 0;
+  std::vector<int> directions;
+  std::uint64_t traversed_directed_edges = 0;
+  int recoveries = 0;  ///< checkpoint rollbacks performed
+  int ranks_lost = 0;  ///< ranks dead at the end
+  sim::PhaseProfile profile_avg;  ///< times averaged, counters summed
+  sim::PhaseProfile profile_max;
+  std::vector<Level2dTrace> trace;
   /// mean time of one expand (column allgather) / fold (row exchange)
   double expand_ns_per_level = 0;
   double fold_ns_per_level = 0;
 
-  double teps(std::uint64_t traversed_edges) const {
-    return time_ns > 0
-               ? static_cast<double>(traversed_edges) / (time_ns * 1e-9)
-               : 0.0;
+  /// Graph500 TEPS: undirected edges traversed over the modeled duration.
+  double teps() const {
+    return time_ns > 0 ? static_cast<double>(traversed_directed_edges) / 2.0 /
+                             (time_ns * 1e-9)
+                       : 0.0;
   }
 };
 
-/// Run one 2-D top-down BFS. `c` must have nranks == grid.np(). Returns the
+/// Run one 2-D BFS. `c` must have nranks == grid.np() and its ppn must
+/// divide the grid's column count. Honors the cluster's fault injector
+/// (level-boundary checkpoints, crash adoption) and tracer. Returns the
 /// result and fills `parent_out` (size grid.n()) for validation.
 Bfs2dResult run_bfs_2d(rt::Cluster& c, const DistGraph2d& dg,
                        graph::Vertex root,

@@ -1,0 +1,555 @@
+#include "bfs2d/exchange2d.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "faults/injector.hpp"
+#include "graph/codec.hpp"
+#include "obs/trace.hpp"
+#include "runtime/allgather.hpp"
+#include "runtime/coll_model.hpp"
+
+namespace numabfs::bfs2d {
+
+namespace cm = rt::coll_model;
+namespace codec = graph::codec;
+
+namespace {
+
+/// Stretch a collective's inter-node stage under an active link-degrade
+/// window (same convention as the 1-D exchange).
+void stretch_inter(rt::Proc& p, const faults::FaultInjector* inj,
+                   cm::CollTimes& t) {
+  if (inj == nullptr) return;
+  const double lf = inj->min_link_factor(p.clock.now_ns());
+  t.total_ns += t.inter_ns * (1.0 / lf - 1.0);
+  t.inter_ns /= lf;
+}
+
+/// Visit the caller's partitions, own rank first (the 1-D adoption order).
+template <typename F>
+void for_owned_parts(rt::Proc& p, std::span<const int> parts, F&& f) {
+  f(p.rank);
+  for (int q : parts)
+    if (q != p.rank) f(q);
+}
+
+}  // namespace
+
+State2d::State2d(const DistGraph2d& dg, std::uint64_t summary_granularity) {
+  const Grid2d& g = dg.grid;
+  const int np = g.np();
+  const std::uint64_t piece = g.piece_bits();
+  frontier.reserve(np);
+  next.reserve(np);
+  visited.reserve(np);
+  colband.reserve(np);
+  colband_summary.reserve(np);
+  row_visited.reserve(np);
+  for (int r = 0; r < np; ++r) {
+    frontier.emplace_back(piece);
+    next.emplace_back(piece);
+    visited.emplace_back(piece);
+    colband.emplace_back(g.colband_bits());
+    colband_summary.emplace_back(g.colband_bits(), summary_granularity);
+    row_visited.emplace_back(g.band_bits());
+  }
+  pred.assign(static_cast<std::size_t>(np),
+              std::vector<graph::Vertex>(piece, graph::kNoVertex));
+  unvisited_edges.assign(static_cast<std::size_t>(np), 0);
+  out_children.assign(static_cast<std::size_t>(np),
+                      std::vector<std::vector<graph::Vertex>>(
+                          static_cast<std::size_t>(g.cols())));
+  out_parents = out_children;
+  enc_piece.resize(static_cast<std::size_t>(np));
+  enc_ret.resize(static_cast<std::size_t>(np));
+  enc_fold.assign(static_cast<std::size_t>(np),
+                  std::vector<std::vector<std::uint8_t>>(
+                      static_cast<std::size_t>(g.cols())));
+}
+
+bfs::ExchangeLevelStats TwoDExchange::build_inputs(rt::Proc& p, int dir,
+                                                   std::span<const int> parts) {
+  rt::Cluster& c = *p.cluster;
+  const faults::FaultInjector* inj = c.injector();
+  rt::Comm& world = c.world();
+  const Grid2d& g = dg_.grid;
+  const int R = g.rows();
+  const int ppn = p.ppn;
+  const std::uint64_t piece_words = g.piece_bits() / 64;
+  const std::uint64_t piece_bytes = piece_words * 8;
+  const bfs::UnitCosts& u = costs_[static_cast<std::size_t>(p.rank)];
+  const sim::Phase phase = dir == 1 ? sim::Phase::bu_comm : sim::Phase::td_comm;
+  const int K = std::max(1, opt_.exchange_chunks);
+  const bool degraded = inj != nullptr && inj->any_dead();
+  const cm::HierLevel hier = degraded ? cm::HierLevel::flat : opt_.hier;
+  const bool rd_inter = R >= 8;
+  const double t0 = p.clock.now_ns();
+
+  // One gate decision covers the transpose and the expand: the same wire
+  // pieces ride both legs, and the plan the gate optimizes is their sum.
+  const auto plan_total = [&](std::uint64_t b) {
+    const double transpose_ns =
+        R > 1 ? c.params().nic_msg_latency_ns +
+                    static_cast<double>(b) /
+                        c.link().nic_flow_bw(ppn, cm::min_nic_factor(c))
+              : 0.0;
+    const double expand_ns =
+        R > 1 ? cm::hier_subgroup_allgather(c, R, 1, ppn, b, hier, rd_inter)
+                    .total_ns
+              : 0.0;
+    return transpose_ns + expand_ns;
+  };
+  std::vector<bfs::GateChunk> chunks;
+  for_owned_parts(p, parts, [&](int q) {
+    bfs::GateChunk ch;
+    ch.words = st_.frontier[static_cast<std::size_t>(q)].view().words();
+    ch.enc = &st_.enc_piece[static_cast<std::size_t>(q)];
+    chunks.push_back(ch);
+  });
+  const bfs::GateResult gate = bfs::gate_bitmap_chunks(
+      p, world, opt_.codec, K, chunks, piece_words, g.piece_bits(),
+      static_cast<std::uint64_t>(R), u, phase, plan_total);
+  const codec::Kind kind = gate.kind;
+  legs_.expand_codec = static_cast<int>(kind);
+
+  p.barrier(world, sim::Phase::stall);  // frontier pieces/encodings ready
+
+  // Wire size of one piece (mean measured encoding, raw otherwise) and the
+  // bytes a given origin's piece actually occupies.
+  const auto origin_bytes = [&](int o) -> std::uint64_t {
+    return kind == codec::Kind::raw
+               ? piece_bytes
+               : st_.enc_piece[static_cast<std::size_t>(o)].size();
+  };
+
+  std::uint64_t wire0 = 0, raw0 = 0;
+  std::uint64_t intra = 0, inter = 0;
+  for_owned_parts(p, parts, [&](int q) {
+    const int iq = g.row_of(q);
+    const int jq = g.col_of(q);
+    // Real assembly: col-band slot k <- piece j*R + k, decoded or copied.
+    auto cb = st_.colband[static_cast<std::size_t>(q)].view().words();
+    for (int k = 0; k < R; ++k) {
+      const int o = g.transpose_src(k, jq);
+      auto dst = cb.subspan(static_cast<std::uint64_t>(k) * piece_words,
+                            piece_words);
+      if (kind == codec::Kind::raw) {
+        auto src = st_.frontier[static_cast<std::size_t>(o)].view().words();
+        std::memcpy(dst.data(), src.data(), piece_bytes);
+      } else {
+        const auto& buf = st_.enc_piece[static_cast<std::size_t>(o)];
+        bfs::decode_bitmap_checked({buf.data(), buf.size()}, dst, "expand2d",
+                                   o);
+      }
+    }
+    // Transpose accounting: partition q is the column member that received
+    // exactly one piece, its own slot's origin j*R + i.
+    const int to = g.transpose_src(iq, jq);
+    double transpose_ns = 0;
+    if (to != q) {
+      const std::uint64_t b = origin_bytes(to);
+      legs_.transpose_wire += b;
+      legs_.transpose_raw += piece_bytes;
+      wire0 += b;
+      raw0 += piece_bytes;
+      p.prof.counters().bytes_raw_equiv += piece_bytes;
+      if (c.node_of(to) == c.node_of(q)) {
+        intra += b;
+        transpose_ns = c.params().cico_factor * static_cast<double>(b) /
+                       c.link().shm_flow_bw(1);
+      } else {
+        inter += b;
+        transpose_ns =
+            c.link().nic_transfer_ns(b, ppn, c.node_of(to), c.node_of(q));
+        if (inj != nullptr)
+          transpose_ns = c.params().nic_msg_latency_ns +
+                         (transpose_ns - c.params().nic_msg_latency_ns) /
+                             inj->min_link_factor(p.clock.now_ns());
+      }
+    }
+    // Expand accounting: the other R-1 column members' contributions.
+    for (int k = 0; k < R; ++k) {
+      const int m = g.rank_at(k, jq);
+      if (m == q) continue;
+      const std::uint64_t b = origin_bytes(g.transpose_src(k, jq));
+      legs_.expand_wire += b;
+      legs_.expand_raw += piece_bytes;
+      wire0 += b;
+      raw0 += piece_bytes;
+      p.prof.counters().bytes_raw_equiv += piece_bytes;
+      (c.node_of(m) == c.node_of(q) ? intra : inter) += b;
+    }
+    // Modeled duration of this partition's column collective.
+    double leg_ns = transpose_ns;
+    if (R > 1) {
+      cm::CollTimes et = cm::hier_subgroup_allgather(
+          c, R, 1, ppn, gate.wire_chunk_bytes, hier, rd_inter);
+      stretch_inter(p, inj, et);
+      double tot = et.total_ns;
+      if (kind != codec::Kind::raw) {
+        const double dec =
+            u.stream_pass_ns(static_cast<std::uint64_t>(R) * piece_words);
+        const double seq = tot + dec;
+        tot = cm::pipelined2_ns(tot, dec, K);
+        p.prof.add_overlap_saved(seq - tot);
+      }
+      leg_ns += tot;
+      last_expand_ns_ = tot;
+    }
+    if (dir == 1) {
+      // Bottom-up scans probe the col-band through its Fig. 8 summary;
+      // rebuild it locally from the just-assembled band (no extra wire —
+      // unlike the 1-D, which allgathers the summary as a second chunk).
+      st_.colband_summary[static_cast<std::size_t>(q)].view().rebuild_range(
+          st_.colband[static_cast<std::size_t>(q)].view(), 0,
+          g.colband_bits());
+      leg_ns += u.stream_pass_ns(g.colband_bits() / 64);
+    }
+    p.charge(phase, leg_ns);
+  });
+  p.prof.counters().bytes_intra_node += intra;
+  p.prof.counters().bytes_inter_node += inter;
+
+  p.barrier(world, phase);  // the column collectives complete together
+  p.trace_span(obs::kCatBfs, "2d.expand", t0, p.clock.now_ns(),
+               obs::kv("kind", codec::to_string(kind)) + "," +
+                   obs::kv("wire_bytes", wire0));
+
+  bfs::ExchangeLevelStats s;
+  s.codec = kind;
+  s.wire_bytes = wire0;
+  s.raw_bytes = raw0;
+  s.bitmap = true;
+  return s;
+}
+
+FoldStats TwoDExchange::fold(rt::Proc& p, int dir, std::span<const int> parts) {
+  rt::Cluster& c = *p.cluster;
+  const faults::FaultInjector* inj = c.injector();
+  rt::Comm& world = c.world();
+  const Grid2d& g = dg_.grid;
+  const int C = g.cols();
+  const int ppn = p.ppn;
+  const bfs::UnitCosts& u = costs_[static_cast<std::size_t>(p.rank)];
+  const sim::Phase phase = dir == 1 ? sim::Phase::bu_comm : sim::Phase::td_comm;
+  const sim::Phase comp = dir == 1 ? sim::Phase::bu_comp : sim::Phase::td_comp;
+  const int K = std::max(1, opt_.exchange_chunks);
+  const double t0 = p.clock.now_ns();
+
+  // Gate on measured list encodings, like the 1-D sparse exchange: trial
+  // encode, allreduce encoded vs raw totals, publish coded only on a win.
+  bool coded = opt_.codec != bfs::CodecMode::off && g.np() > 1;
+  if (coded) {
+    std::uint64_t my_enc = 0, my_raw = 0;
+    for_owned_parts(p, parts, [&](int q) {
+      for (int k = 0; k < C; ++k) {
+        const auto& ch = st_.out_children[static_cast<std::size_t>(q)]
+                                         [static_cast<std::size_t>(k)];
+        const auto& pa = st_.out_parents[static_cast<std::size_t>(q)]
+                                        [static_cast<std::size_t>(k)];
+        auto& buf = st_.enc_fold[static_cast<std::size_t>(q)]
+                                [static_cast<std::size_t>(k)];
+        buf.clear();
+        if (ch.empty()) continue;  // absence is free either way
+        codec::encode_list({ch.data(), ch.size()}, buf);
+        codec::encode_list({pa.data(), pa.size()}, buf);
+        my_enc += buf.size();
+        my_raw += (ch.size() + pa.size()) * sizeof(graph::Vertex);
+        p.charge(phase, u.stream_pass_ns(ch.size() * sizeof(graph::Vertex) /
+                                             4 +
+                                         (buf.size() + 7) / 8));
+      }
+    });
+    const std::uint64_t enc_sum =
+        rt::allreduce_sum(p, world, my_enc, sim::Phase::stall);
+    const std::uint64_t raw_sum =
+        rt::allreduce_sum(p, world, my_raw, sim::Phase::stall);
+    coded = enc_sum < raw_sum;  // encode cost is sunk; bytes decide
+  }
+  p.barrier(world, sim::Phase::stall);  // outboxes and encodings ready
+
+  FoldStats fs;
+  fs.coded = coded;
+  std::uint64_t intra = 0, inter = 0;
+  std::uint64_t claims_seen = 0, accepts = 0;
+  for (int q : parts) {
+    const int iq = g.row_of(q);
+    const int jq = g.col_of(q);
+    const std::uint64_t pb = g.piece_begin(q);
+    auto vis = st_.visited[static_cast<std::size_t>(q)].view();
+    auto nxt = st_.next[static_cast<std::size_t>(q)].view();
+    auto& pr = st_.pred[static_cast<std::size_t>(q)];
+    const auto& pdeg = dg_.piece_deg[static_cast<std::size_t>(q)];
+    // Deterministic dedup: claims arrive in ascending column order, so the
+    // surviving parent of a multiply-claimed child is reproducible.
+    for (int k = 0; k < C; ++k) {
+      const int peer = g.rank_at(iq, k);
+      const auto& raw_ch = st_.out_children[static_cast<std::size_t>(peer)]
+                                           [static_cast<std::size_t>(jq)];
+      const auto& raw_pa = st_.out_parents[static_cast<std::size_t>(peer)]
+                                          [static_cast<std::size_t>(jq)];
+      const graph::Vertex* ch = raw_ch.data();
+      const graph::Vertex* pa = raw_pa.data();
+      std::size_t cnt = raw_ch.size();
+      std::uint64_t bytes = cnt * 2 * sizeof(graph::Vertex);
+      if (coded && !raw_ch.empty()) {
+        const auto& buf = st_.enc_fold[static_cast<std::size_t>(peer)]
+                                      [static_cast<std::size_t>(jq)];
+        dec_children_.clear();
+        dec_parents_.clear();
+        const std::size_t used1 =
+            codec::decode_list({buf.data(), buf.size()}, dec_children_);
+        const std::size_t used2 = codec::decode_list(
+            {buf.data() + used1, buf.size() - used1}, dec_parents_);
+        // Strict framing + pairing: both lists must account for every
+        // published byte and agree on the claim count.
+        if (used1 + used2 != buf.size() ||
+            dec_children_.size() != dec_parents_.size())
+          throw std::invalid_argument(
+              "fold2d: claim encoding from rank " + std::to_string(peer) +
+              " decoded " + std::to_string(used1 + used2) + " of " +
+              std::to_string(buf.size()) + " published bytes");
+        ch = dec_children_.data();
+        pa = dec_parents_.data();
+        cnt = dec_children_.size();
+        bytes = buf.size();
+      }
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const std::uint64_t lv = ch[i] - pb;
+        ++claims_seen;
+        if (vis.get(lv)) continue;
+        vis.set(lv);
+        pr[lv] = pa[i];
+        nxt.set(lv);
+        ++accepts;
+        ++fs.discovered;
+        fs.discovered_edges += pdeg[lv];
+        st_.unvisited_edges[static_cast<std::size_t>(q)] -= pdeg[lv];
+      }
+      if (peer == q) continue;  // own claims never ride the wire
+      const std::uint64_t raw_b = cnt * 2 * sizeof(graph::Vertex);
+      fs.wire_bytes += bytes;
+      fs.raw_bytes += raw_b;
+      legs_.fold_wire += bytes;
+      legs_.fold_raw += raw_b;
+      (c.node_of(peer) == c.node_of(q) ? intra : inter) += bytes;
+    }
+  }
+  p.prof.counters().bytes_intra_node += intra;
+  p.prof.counters().bytes_inter_node += inter;
+  p.prof.counters().bytes_raw_equiv += fs.raw_bytes;
+  p.prof.counters().queue_writes += accepts;
+  // Owner-side merge: one visited probe per claim, pred + next per accept.
+  p.charge(comp, (static_cast<double>(claims_seen) * u.visited_probe_ns +
+                  static_cast<double>(accepts) * 2.0 * u.write_ns) /
+                     u.omp_div);
+  const double dec_ns =
+      coded ? u.stream_pass_ns((fs.wire_bytes + fs.raw_bytes) / 8) : 0.0;
+
+  // Modeled wire time: the row alltoallv is bounded by the node's NIC, so
+  // the charge takes the whole node's inbound claim volume (every rank of a
+  // node belongs to the same row when ppn | C). Adoption note: volumes are
+  // attributed to partition homes; cross-row adoption only occurs when a
+  // whole node died, and then the degraded (flat) model is active anyway.
+  std::uint64_t node_intra = 0, node_inter = 0;
+  for (int m = p.node * ppn; m < (p.node + 1) * ppn; ++m) {
+    const int im = g.row_of(m);
+    const int jm = g.col_of(m);
+    for (int k = 0; k < C; ++k) {
+      const int peer = g.rank_at(im, k);
+      if (peer == m) continue;
+      const auto& raw_ch = st_.out_children[static_cast<std::size_t>(peer)]
+                                           [static_cast<std::size_t>(jm)];
+      if (raw_ch.empty()) continue;
+      const std::uint64_t bytes =
+          coded ? st_.enc_fold[static_cast<std::size_t>(peer)]
+                              [static_cast<std::size_t>(jm)]
+                      .size()
+                : raw_ch.size() * 2 * sizeof(graph::Vertex);
+      (c.node_of(peer) == p.node ? node_intra : node_inter) += bytes;
+    }
+  }
+  const bool degraded = inj != nullptr && inj->any_dead();
+  const cm::HierLevel hier = degraded ? cm::HierLevel::flat : opt_.hier;
+  double t = cm::hier_alltoallv_ns(c, std::max(1, C / ppn), std::min(ppn, C),
+                                   node_intra, node_inter, hier);
+  if (inj != nullptr) t /= inj->min_link_factor(p.clock.now_ns());
+  if (coded && dec_ns > 0) {
+    // The owner decodes claim lists while later chunks are in flight
+    // (K-chunk wire/decode pipelining, as on the bitmap legs).
+    const double seq = t + dec_ns;
+    t = cm::pipelined2_ns(t, dec_ns, K);
+    p.prof.add_overlap_saved(seq - t);
+  }
+  p.charge(phase, t);
+  last_fold_ns_ = t;
+  p.barrier(world, phase);
+
+  // Wipe the drained outboxes (every row peer has read them by now).
+  for (int q : parts) {
+    for (int k = 0; k < C; ++k) {
+      st_.out_children[static_cast<std::size_t>(q)][static_cast<std::size_t>(k)]
+          .clear();
+      st_.out_parents[static_cast<std::size_t>(q)][static_cast<std::size_t>(k)]
+          .clear();
+      st_.enc_fold[static_cast<std::size_t>(q)][static_cast<std::size_t>(k)]
+          .clear();
+    }
+  }
+  legs_.fold_coded = coded;
+  p.barrier(world, sim::Phase::stall);
+  p.trace_span(obs::kCatBfs, "2d.fold", t0, p.clock.now_ns(),
+               obs::kv("coded", coded ? 1 : 0) + "," +
+                   obs::kv("wire_bytes", fs.wire_bytes) + "," +
+                   obs::kv("discovered", fs.discovered));
+  return fs;
+}
+
+bfs::ExchangeLevelStats TwoDExchange::exchange(rt::Proc& p, int /*cur_dir*/,
+                                               int next_dir,
+                                               std::span<const int> parts) {
+  rt::Cluster& c = *p.cluster;
+  const faults::FaultInjector* inj = c.injector();
+  rt::Comm& world = c.world();
+  const Grid2d& g = dg_.grid;
+  const int C = g.cols();
+  const int ppn = p.ppn;
+  const std::uint64_t piece_words = g.piece_bits() / 64;
+  const std::uint64_t piece_bytes = piece_words * 8;
+  const bfs::UnitCosts& u = costs_[static_cast<std::size_t>(p.rank)];
+  const sim::Phase phase =
+      next_dir == 1 ? sim::Phase::bu_comm : sim::Phase::td_comm;
+  const int K = std::max(1, opt_.exchange_chunks);
+  const bool degraded = inj != nullptr && inj->any_dead();
+  const cm::HierLevel hier = degraded ? cm::HierLevel::flat : opt_.hier;
+  const bool rd_inter = C / std::max(1, ppn) >= 8;
+
+  // Advance: the accepted claims become the next frontier.
+  for (int q : parts) {
+    std::swap(st_.frontier[static_cast<std::size_t>(q)],
+              st_.next[static_cast<std::size_t>(q)]);
+    st_.next[static_cast<std::size_t>(q)].view().reset();
+    p.charge(phase, u.stream_pass_ns(2 * piece_words));
+  }
+  p.barrier(world, sim::Phase::stall);  // frontiers advanced everywhere
+
+  std::uint64_t ret_wire = 0, ret_raw = 0;
+  if (next_dir == 1) {
+    std::uint64_t intra = 0, inter = 0;
+    if (!rows_fresh_) {
+      // td -> bu switch: the replicas missed the top-down levels' claims —
+      // rebuild them outright from the row's visited pieces (dense maps;
+      // a codec would only add headers). Charged to switch_conv, like the
+      // 1-D's discovered-list materialization.
+      for (int q : parts) {
+        const int iq = g.row_of(q);
+        auto rv = st_.row_visited[static_cast<std::size_t>(q)].view().words();
+        for (int k = 0; k < C; ++k) {
+          const int m = g.rank_at(iq, k);
+          auto src = st_.visited[static_cast<std::size_t>(m)].view().words();
+          std::memcpy(rv.data() + static_cast<std::uint64_t>(k) * piece_words,
+                      src.data(), piece_bytes);
+          if (m == q) continue;
+          ret_wire += piece_bytes;
+          ret_raw += piece_bytes;
+          (c.node_of(m) == c.node_of(q) ? intra : inter) += piece_bytes;
+          p.prof.counters().bytes_raw_equiv += piece_bytes;
+        }
+        cm::CollTimes et = cm::hier_subgroup_allgather(
+            c, std::max(1, C / ppn), std::min(ppn, C), 1, piece_bytes, hier,
+            rd_inter);
+        stretch_inter(p, inj, et);
+        p.charge(sim::Phase::switch_conv,
+                 et.total_ns + u.stream_pass_ns(g.band_bits() / 64));
+      }
+    } else {
+      // Claim-return: a row allgather of the (sparse) new frontier pieces,
+      // OR-ed into the replicas — gated like the expand, but against the
+      // row collective's plan.
+      const auto plan_total = [&](std::uint64_t b) {
+        return C > 1 ? cm::hier_subgroup_allgather(c, std::max(1, C / ppn),
+                                                   std::min(ppn, C), 1, b,
+                                                   hier, rd_inter)
+                           .total_ns
+                     : 0.0;
+      };
+      std::vector<bfs::GateChunk> chunks;
+      for_owned_parts(p, parts, [&](int q) {
+        bfs::GateChunk ch;
+        ch.words = st_.frontier[static_cast<std::size_t>(q)].view().words();
+        ch.enc = &st_.enc_ret[static_cast<std::size_t>(q)];
+        chunks.push_back(ch);
+      });
+      const bfs::GateResult gate = bfs::gate_bitmap_chunks(
+          p, world, opt_.codec, K, chunks, piece_words, g.piece_bits(),
+          static_cast<std::uint64_t>(C), u, phase, plan_total);
+      p.barrier(world, sim::Phase::stall);  // return encodings ready
+
+      for (int q : parts) {
+        const int iq = g.row_of(q);
+        auto rv = st_.row_visited[static_cast<std::size_t>(q)].view().words();
+        for (int k = 0; k < C; ++k) {
+          const int m = g.rank_at(iq, k);
+          auto dst = rv.subspan(static_cast<std::uint64_t>(k) * piece_words,
+                                piece_words);
+          std::uint64_t bytes = piece_bytes;
+          if (gate.kind == codec::Kind::raw) {
+            auto src =
+                st_.frontier[static_cast<std::size_t>(m)].view().words();
+            for (std::uint64_t w = 0; w < piece_words; ++w)
+              dst[w] |= src[w];
+          } else {
+            const auto& buf = st_.enc_ret[static_cast<std::size_t>(m)];
+            dec_piece_.assign(piece_words, 0);
+            bfs::decode_bitmap_checked({buf.data(), buf.size()}, dec_piece_,
+                                       "claim_return2d", m);
+            for (std::uint64_t w = 0; w < piece_words; ++w)
+              dst[w] |= dec_piece_[w];
+            bytes = buf.size();
+          }
+          if (m == q) continue;
+          ret_wire += bytes;
+          ret_raw += piece_bytes;
+          (c.node_of(m) == c.node_of(q) ? intra : inter) += bytes;
+          p.prof.counters().bytes_raw_equiv += piece_bytes;
+        }
+        double leg_ns = u.stream_pass_ns(g.band_bits() / 64);  // the OR pass
+        if (C > 1) {
+          cm::CollTimes et = cm::hier_subgroup_allgather(
+              c, std::max(1, C / ppn), std::min(ppn, C), 1,
+              gate.wire_chunk_bytes, hier, rd_inter);
+          stretch_inter(p, inj, et);
+          double tot = et.total_ns;
+          if (gate.kind != codec::Kind::raw) {
+            const double dec = u.stream_pass_ns(
+                static_cast<std::uint64_t>(C) * piece_words);
+            const double seq = tot + dec;
+            tot = cm::pipelined2_ns(tot, dec, K);
+            p.prof.add_overlap_saved(seq - tot);
+          }
+          leg_ns += tot;
+        }
+        p.charge(phase, leg_ns);
+      }
+    }
+    p.prof.counters().bytes_intra_node += intra;
+    p.prof.counters().bytes_inter_node += inter;
+    legs_.ret_wire += ret_wire;
+    legs_.ret_raw += ret_raw;
+    rows_fresh_ = true;
+    p.barrier(world, phase);
+  } else {
+    // Top-down levels fold without returning claims; the replicas go stale
+    // until the next bottom-up switch rebuilds them.
+    rows_fresh_ = false;
+  }
+
+  bfs::ExchangeLevelStats s = build_inputs(p, next_dir, parts);
+  s.wire_bytes += ret_wire;
+  s.raw_bytes += ret_raw;
+  return s;
+}
+
+}  // namespace numabfs::bfs2d

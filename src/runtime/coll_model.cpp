@@ -150,4 +150,132 @@ std::uint64_t allgather_volume_bytes(std::uint64_t total_bytes, int np) {
   return total_bytes * static_cast<std::uint64_t>(np > 0 ? np - 1 : 0);
 }
 
+// --- hierarchical subgroup collectives ------------------------------------
+
+const char* to_string(HierLevel h) {
+  switch (h) {
+    case HierLevel::flat: return "flat";
+    case HierLevel::node: return "node";
+    case HierLevel::socket: return "socket";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Message latencies one node pays to inject `msgs` concurrent messages:
+/// the injection pipeline serializes over the NIC ports.
+double inject_lat_ns(const Cluster& c, int msgs) {
+  if (msgs <= 0) return 0.0;
+  const int ports = std::max(1, c.topo().nic_ports_per_node());
+  const int rounds = (msgs + ports - 1) / ports;
+  return static_cast<double>(rounds) * c.params().nic_msg_latency_ns;
+}
+
+/// Staged shared-memory pass of `bytes` through a node leader: CICO bounce
+/// at HierLevel::node, direct-mapped (single pass) at HierLevel::socket.
+double stage_ns(const Cluster& c, std::uint64_t bytes, HierLevel level) {
+  const double factor =
+      level == HierLevel::socket ? 1.0 : c.params().cico_factor;
+  return factor * static_cast<double>(bytes) / c.params().shm_copy_bw;
+}
+
+}  // namespace
+
+CollTimes hier_subgroup_allgather(const Cluster& c, int span_nodes,
+                                  int per_node, int concurrency,
+                                  std::uint64_t chunk_bytes, HierLevel level,
+                                  bool rd_inter) {
+  CollTimes t;
+  const int members = span_nodes * per_node;
+  if (members <= 1) return t;
+  const auto& cp = c.params();
+  const double factor = min_nic_factor(c);
+
+  if (level == HierLevel::flat) {
+    // Ring over all members; each node injects one message per co-located
+    // participant per step (per_node members x concurrency siblings).
+    const int steps = members - 1;
+    double t_intra = 0.0;
+    if (per_node > 1) {
+      const int copies = per_node * concurrency;
+      const double per_flow =
+          std::min(c.link().shm_flow_bw(1),
+                   cp.node_copy_ceiling / static_cast<double>(copies));
+      t_intra = cp.cico_factor * static_cast<double>(chunk_bytes) / per_flow;
+    }
+    double t_inter = 0.0;
+    if (span_nodes > 1) {
+      const int msgs = per_node * concurrency;
+      t_inter = inject_lat_ns(c, msgs) +
+                static_cast<double>(chunk_bytes) /
+                    c.link().nic_flow_bw(msgs, factor);
+    }
+    t.intra_overlapped_ns = steps * t_intra;
+    t.inter_ns = steps * t_inter;
+    t.total_ns = steps * std::max(t_intra, t_inter);
+    return t;
+  }
+
+  // Node-aware: all co-located participants (per_node members of this
+  // subgroup x concurrency siblings) stage their chunks at the node leader,
+  // leaders exchange combined node chunks, the assembled payload fans back
+  // out once.
+  const int staged = per_node * concurrency;
+  const std::uint64_t node_chunk =
+      chunk_bytes * static_cast<std::uint64_t>(staged);
+  if (staged > 1)
+    t.gather_ns = stage_ns(
+        c, chunk_bytes * static_cast<std::uint64_t>(staged - 1), level);
+  if (span_nodes > 1) {
+    const double bw = c.link().nic_flow_bw(1, factor);
+    if (rd_inter && std::has_single_bit(static_cast<unsigned>(span_nodes))) {
+      std::uint64_t sz = node_chunk;
+      for (int r = 0; r < std::countr_zero(static_cast<unsigned>(span_nodes));
+           ++r) {
+        t.inter_ns += cp.nic_msg_latency_ns + static_cast<double>(sz) / bw;
+        sz *= 2;
+      }
+    } else {
+      t.inter_ns = (span_nodes - 1) * (cp.nic_msg_latency_ns +
+                                       static_cast<double>(node_chunk) / bw);
+    }
+  }
+  if (staged > 1)
+    t.bcast_ns = stage_ns(
+        c, node_chunk * static_cast<std::uint64_t>(span_nodes), level);
+  t.total_ns = t.gather_ns + t.inter_ns + t.bcast_ns;
+  return t;
+}
+
+double hier_alltoallv_ns(const Cluster& c, int span_nodes, int per_node,
+                         std::uint64_t node_intra_bytes,
+                         std::uint64_t node_inter_bytes, HierLevel level) {
+  const double factor = min_nic_factor(c);
+  // Intra-node peer traffic: bounced (CICO) unless the exchange buffers are
+  // directly mapped (socket level — the paper's sharing idea applied to the
+  // fold, cf. the seed's shared_fold).
+  const double intra_factor =
+      level == HierLevel::socket ? 1.0 : c.params().cico_factor;
+  const double t_intra = intra_factor * static_cast<double>(node_intra_bytes) /
+                         c.params().shm_copy_bw;
+  if (span_nodes <= 1 || node_inter_bytes == 0) return t_intra;
+
+  double t_inter;
+  if (level == HierLevel::flat) {
+    const int msgs = per_node * per_node * (span_nodes - 1);
+    t_inter = inject_lat_ns(c, msgs) +
+              static_cast<double>(node_inter_bytes) /
+                  c.link().nic_node_bw(per_node, factor);
+  } else {
+    // Leaders exchange one combined message per peer node; the inter-node
+    // payload is staged through the leader on the way out and the way in.
+    t_inter = 2.0 * stage_ns(c, node_inter_bytes, level) +
+              inject_lat_ns(c, span_nodes - 1) +
+              static_cast<double>(node_inter_bytes) /
+                  c.link().nic_node_bw(1, factor);
+  }
+  return t_intra + t_inter;
+}
+
 }  // namespace numabfs::rt::coll_model

@@ -96,4 +96,53 @@ std::uint64_t allgather_volume_bytes(std::uint64_t total_bytes, int np);
 /// Slowest NIC factor among all nodes (ring collectives are bound by it).
 double min_nic_factor(const Cluster& c);
 
+// --- hierarchical subgroup collectives (DESIGN.md §13) -------------------
+// The 2-D decomposition's row/column collectives run over *subgroups* of
+// the grid, not the whole cluster, and their scaling limit at 256+ nodes is
+// message count, not bandwidth (Buluc et al., arXiv:1705.04590). The
+// models below therefore refine the flat family in one way: concurrent
+// messages injected by one node serialize over its NIC ports, so a step
+// with q messages in flight pays ceil(q / ports) message latencies. The
+// node-aware variants combine the co-located members' chunks into one
+// message per step (leader gather -> inter-node phase -> intra-node bcast),
+// trading staged shared-memory copies for that latency factor; the
+// socket-aware variants additionally stage through a directly-mapped
+// segment (no copy-in/copy-out bounce). The flat/leader functions above
+// keep their (latency-optimistic) semantics — existing charges are
+// untouched.
+
+/// How a subgroup collective exploits the machine hierarchy.
+enum class HierLevel : int {
+  flat = 0,   ///< every member is an independent flow (baseline)
+  node,       ///< node-aware: co-located members combine into one message
+  socket,     ///< node-aware + direct-mapped (no-CICO) intra-node staging
+};
+const char* to_string(HierLevel h);
+
+/// Allgather over one subgroup spanning `span_nodes` nodes with `per_node`
+/// members on each, every member contributing `chunk_bytes`; `concurrency`
+/// sibling subgroups of identical shape run on the same nodes at once and
+/// share their NICs (the C columns of an R x C grid have per_node = 1 and
+/// concurrency = ppn; a row has per_node = ppn and concurrency = 1).
+/// flat: ring over all members, per-step latency scaled by the injection
+/// serialization above. node/socket: per-node staging, leaders ring (or
+/// recursive-double) combined per_node*concurrency*chunk node messages,
+/// then one intra-node fan-out of the assembled payload.
+CollTimes hier_subgroup_allgather(const Cluster& c, int span_nodes,
+                                  int per_node, int concurrency,
+                                  std::uint64_t chunk_bytes, HierLevel level,
+                                  bool rd_inter = false);
+
+/// Personalized exchange (alltoallv) over the same subgroup shape, from the
+/// charged node's viewpoint: `node_intra_bytes` / `node_inter_bytes` are the
+/// *measured* volumes the node's members receive over each transport this
+/// step (every member charges the node-level time; they leave the exchange
+/// through a barrier anyway). flat: per_node^2 * (span_nodes - 1) incoming
+/// messages serialize over the ports; node/socket: leaders exchange
+/// span_nodes - 1 combined messages, paying two staged passes over the
+/// inter-node payload.
+double hier_alltoallv_ns(const Cluster& c, int span_nodes, int per_node,
+                         std::uint64_t node_intra_bytes,
+                         std::uint64_t node_inter_bytes, HierLevel level);
+
 }  // namespace numabfs::rt::coll_model

@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "faults/errors.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "graph/reference_bfs.hpp"
 #include "graph/rmat.hpp"
 #include "graph/validate.hpp"
+#include "numasim/topology.hpp"
 #include "runtime/coll_model.hpp"
 
 namespace numabfs::bfs2d {
@@ -18,13 +24,21 @@ graph::Csr make_csr(int scale, std::uint64_t seed = 7) {
   return graph::Csr::from_edges(p.num_vertices(), graph::rmat_edges(p));
 }
 
+graph::Vertex first_root(const graph::Csr& g) {
+  graph::Vertex root = 0;
+  while (g.degree(root) == 0) ++root;
+  return root;
+}
+
 TEST(Grid2d, ShapeAndOwnership) {
-  Grid2d g(1000, 16);
-  EXPECT_EQ(g.r(), 4);
+  const Grid2d g = Grid2d::make(1000, 16);
+  EXPECT_EQ(g.rows(), 4);
+  EXPECT_EQ(g.cols(), 4);
   EXPECT_EQ(g.np(), 16);
   EXPECT_GE(g.padded(), 1000u);
   EXPECT_EQ(g.padded() % (16 * 64), 0u);
   EXPECT_EQ(g.band_bits() * 4, g.padded());
+  EXPECT_EQ(g.colband_bits() * 4, g.padded());
   EXPECT_EQ(g.piece_bits() * 16, g.padded());
   // Every vertex owned exactly once, within the owner's piece range.
   for (std::uint64_t v = 0; v < 1000; ++v) {
@@ -35,83 +49,167 @@ TEST(Grid2d, ShapeAndOwnership) {
   }
 }
 
-TEST(Grid2d, RejectsNonSquare) {
-  EXPECT_THROW(Grid2d(100, 8), std::invalid_argument);
-  EXPECT_THROW(Grid2d(100, 2), std::invalid_argument);
-  EXPECT_NO_THROW(Grid2d(100, 1));
-  EXPECT_NO_THROW(Grid2d(100, 64));
+TEST(Grid2d, RectangularShapes) {
+  // Non-square rank counts factor into the most-square admissible grid.
+  const Grid2d a = Grid2d::make(1000, 8);  // 8 = 2*4 or 4*2 or 1*8 or 8*1
+  EXPECT_EQ(a.rows() * a.cols(), 8);
+  EXPECT_EQ(a.rows(), 2);  // ties between 2x4 and 4x2 go to the wider grid
+  EXPECT_EQ(a.cols(), 4);
+  const Grid2d b(1000, 3, 4);  // explicit rectangle
+  EXPECT_EQ(b.np(), 12);
+  EXPECT_EQ(b.band_bits(), b.piece_bits() * 4);
+  EXPECT_EQ(b.colband_bits(), b.piece_bits() * 3);
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    const int o = b.owner(v);
+    EXPECT_EQ(b.rank_at(b.row_of(o), b.col_of(o)), o);
+  }
+  EXPECT_THROW(Grid2d(100, 0, 4), std::invalid_argument);
 }
 
-TEST(DistGraph2d, ConservesEveryDirectedEdge) {
-  const graph::Csr g = make_csr(10);
-  const Grid2d grid(g.num_vertices(), 16);
-  const DistGraph2d d = DistGraph2d::build(g, grid);
-  std::uint64_t total = 0;
-  for (const auto& b : d.blocks) {
-    total += b.edges();
-    EXPECT_TRUE(std::is_sorted(b.keys.begin(), b.keys.end()));
-    EXPECT_EQ(b.offsets.size(), b.keys.size() + 1);
+TEST(Grid2d, PpnConstrainsColumns) {
+  // ppn must divide C so rows span whole nodes.
+  const Grid2d g = Grid2d::make(1000, 64, 8);
+  EXPECT_EQ(g.cols() % 8, 0);
+  EXPECT_EQ(g.rows() * g.cols(), 64);
+  EXPECT_EQ(g.cols(), 8);  // 8x8 is the most-square admissible shape
+  // 2 ranks with ppn=8 cannot host any grid whose C is a multiple of 8.
+  try {
+    Grid2d::make(1000, 2, 8);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error names the nearest admissible rank counts.
+    EXPECT_NE(std::string(e.what()).find("nearest valid np"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("8"), std::string::npos);
   }
-  EXPECT_EQ(total, g.num_directed_edges());
+  // np=12, ppn=8: 8 and 16 are the nearest multiples.
+  try {
+    Grid2d::make(1000, 12, 8);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("8 or 16"), std::string::npos);
+  }
+}
+
+TEST(Grid2d, TransposeRoundTrip) {
+  for (const auto& [r, cc] : {std::pair{4, 4}, {2, 8}, {8, 2}, {3, 5}}) {
+    const Grid2d g(1 << 12, r, cc);
+    for (int piece = 0; piece < g.np(); ++piece) {
+      const int dest = g.transpose_dest(piece);
+      // The dest assembles slot piece % R of col-band piece / R.
+      EXPECT_EQ(g.col_of(dest), piece / r);
+      EXPECT_EQ(g.transpose_src(g.row_of(dest) % r, g.col_of(dest)),
+                g.transpose_src(piece % r, piece / r));
+      EXPECT_EQ(g.transpose_src(piece % r, piece / r), piece);
+    }
+  }
+}
+
+TEST(DistGraph2d, ConservesEveryDirectedEdgeInBothOrientations) {
+  const graph::Csr g = make_csr(10);
+  const Grid2d grid = Grid2d::make(g.num_vertices(), 16);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  std::uint64_t td = 0, bu = 0, deg = 0;
+  for (const auto& b : d.blocks) {
+    td += b.edges();
+    bu += b.bu_sources.size();
+    EXPECT_TRUE(std::is_sorted(b.keys.begin(), b.keys.end()));
+    EXPECT_TRUE(std::is_sorted(b.bu_keys.begin(), b.bu_keys.end()));
+    EXPECT_EQ(b.offsets.size(), b.keys.size() + 1);
+    EXPECT_EQ(b.bu_offsets.size(), b.bu_keys.size() + 1);
+  }
+  for (const auto& pd : d.piece_deg)
+    for (std::uint64_t x : pd) deg += x;
+  EXPECT_EQ(td, g.num_directed_edges());
+  EXPECT_EQ(bu, g.num_directed_edges());
+  EXPECT_EQ(deg, g.num_directed_edges());
 }
 
 TEST(DistGraph2d, BlockMembershipRespectsBands) {
   const graph::Csr g = make_csr(9);
-  const Grid2d grid(g.num_vertices(), 4);
+  const Grid2d grid = Grid2d::make(g.num_vertices(), 8);  // 2x4
   const DistGraph2d d = DistGraph2d::build(g, grid);
-  const std::uint64_t band = grid.band_bits();
-  for (int i = 0; i < 2; ++i)
-    for (int j = 0; j < 2; ++j) {
+  for (int i = 0; i < grid.rows(); ++i)
+    for (int j = 0; j < grid.cols(); ++j) {
       const auto& b = d.blocks[static_cast<size_t>(grid.rank_at(i, j))];
-      for (graph::Vertex u : b.keys) {
-        EXPECT_GE(u / band, static_cast<std::uint64_t>(j));
-        EXPECT_LT(u / band, static_cast<std::uint64_t>(j) + 1);
-      }
+      for (graph::Vertex u : b.keys)
+        EXPECT_EQ(static_cast<int>(u / grid.colband_bits()), j);
       for (graph::Vertex v : b.targets)
-        EXPECT_EQ(v / band, static_cast<std::uint64_t>(i));
+        EXPECT_EQ(static_cast<int>(v / grid.band_bits()), i);
+      for (graph::Vertex v : b.bu_keys)
+        EXPECT_EQ(static_cast<int>(v / grid.band_bits()), i);
+      for (graph::Vertex u : b.bu_sources)
+        EXPECT_EQ(static_cast<int>(u / grid.colband_bits()), j);
     }
 }
 
-struct Shape {
+// --- validation matrix: shape x direction x codec x hier ----------------
+
+struct Variant {
   int scale, nodes, ppn;
+  bfs::Direction dir;
+  bfs::CodecMode codec;
+  rt::coll_model::HierLevel hier;
 };
 
-class Bfs2dGrid : public ::testing::TestWithParam<int> {};
+class Bfs2dMatrix : public ::testing::TestWithParam<int> {};
 
-TEST_P(Bfs2dGrid, ProducesValidTreeOnSquareGrids) {
-  static const Shape shapes[] = {
-      {9, 1, 1},   // 1x1 grid
-      {9, 1, 4},   // 2x2 grid
-      {10, 2, 8},  // 4x4 grid
-      {10, 8, 8},  // 8x8 grid, columns inter-node
+TEST_P(Bfs2dMatrix, ProducesValidTree) {
+  using bfs::CodecMode;
+  using bfs::Direction;
+  using rt::coll_model::HierLevel;
+  static const Variant vs[] = {
+      {9, 1, 1, Direction::hybrid, CodecMode::off, HierLevel::flat},    // 1x1
+      {9, 1, 4, Direction::hybrid, CodecMode::off, HierLevel::flat},    // 2x2
+      {10, 2, 4, Direction::hybrid, CodecMode::off, HierLevel::flat},   // 2x4
+      {10, 4, 4, Direction::hybrid, CodecMode::gate, HierLevel::node},  // 4x4
+      {10, 8, 4, Direction::top_down_only, CodecMode::off,
+       HierLevel::node},                                                // 4x8
+      {10, 8, 4, Direction::bottom_up_only, CodecMode::gate,
+       HierLevel::socket},                                              // 4x8
+      {10, 8, 8, Direction::hybrid, CodecMode::force_sparse,
+       HierLevel::node},                                                // 8x8
+      {10, 8, 8, Direction::hybrid, CodecMode::force_dense,
+       HierLevel::socket},                                              // 8x8
   };
-  const Shape s = shapes[GetParam()];
+  const Variant s = vs[GetParam()];
   const graph::Csr g = make_csr(s.scale);
-  const Grid2d grid(g.num_vertices(), s.nodes * s.ppn);
+  const Grid2d grid = Grid2d::make(g.num_vertices(), s.nodes * s.ppn, s.ppn);
   const DistGraph2d d = DistGraph2d::build(g, grid);
   rt::Cluster c(sim::Topology::xeon_x7550_cluster(s.nodes), sim::CostParams{},
                 s.ppn);
+  Bfs2dOptions o;
+  o.direction = s.dir;
+  o.codec = s.codec;
+  o.exchange_chunks = 4;
+  o.hier = s.hier;
 
-  graph::Vertex root = 0;
-  while (g.degree(root) == 0) ++root;
+  const graph::Vertex root = first_root(g);
   std::vector<graph::Vertex> parent;
-  const Bfs2dResult res = run_bfs_2d(c, d, root, &parent);
+  const Bfs2dResult res = run_bfs_2d(c, d, root, &parent, o);
   const auto v = graph::validate_bfs_tree(g, root, parent);
   ASSERT_TRUE(v.ok) << v.error;
   EXPECT_EQ(res.visited, v.visited);
   EXPECT_GT(res.time_ns, 0.0);
+  EXPECT_EQ(res.levels, static_cast<int>(res.directions.size()));
+  EXPECT_EQ(res.td_levels + res.bu_levels, res.levels);
+  if (s.dir == bfs::Direction::top_down_only) {
+    EXPECT_EQ(res.bu_levels, 0);
+  }
+  if (s.dir == bfs::Direction::bottom_up_only) {
+    EXPECT_EQ(res.td_levels, 0);
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Grids, Bfs2dGrid, ::testing::Range(0, 4));
+INSTANTIATE_TEST_SUITE_P(Matrix, Bfs2dMatrix, ::testing::Range(0, 8));
 
 TEST(Bfs2d, MatchesOneDimensionalVisitedSet) {
   const graph::Csr g = make_csr(10, 21);
-  const Grid2d grid(g.num_vertices(), 16);
+  const Grid2d grid = Grid2d::make(g.num_vertices(), 16, 8);  // 2x8
   const DistGraph2d d = DistGraph2d::build(g, grid);
   rt::Cluster c(sim::Topology::xeon_x7550_cluster(2), sim::CostParams{}, 8);
 
-  graph::Vertex root = 0;
-  while (g.degree(root) == 0) ++root;
+  const graph::Vertex root = first_root(g);
   std::vector<graph::Vertex> parent2d;
   run_bfs_2d(c, d, root, &parent2d);
   const graph::BfsTree ref = graph::reference_bfs(g, root);
@@ -123,16 +221,22 @@ TEST(Bfs2d, MatchesOneDimensionalVisitedSet) {
 
 TEST(Bfs2d, Deterministic) {
   const graph::Csr g = make_csr(9);
-  const Grid2d grid(g.num_vertices(), 4);
+  const Grid2d grid = Grid2d::make(g.num_vertices(), 8, 4);
   const DistGraph2d d = DistGraph2d::build(g, grid);
-  rt::Cluster c(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 4);
-  graph::Vertex root = 0;
-  while (g.degree(root) == 0) ++root;
-  const Bfs2dResult a = run_bfs_2d(c, d, root);
-  const Bfs2dResult b = run_bfs_2d(c, d, root);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(2), sim::CostParams{}, 4);
+  Bfs2dOptions o;
+  o.codec = bfs::CodecMode::gate;
+  o.exchange_chunks = 2;
+  o.hier = rt::coll_model::HierLevel::node;
+  const graph::Vertex root = first_root(g);
+  std::vector<graph::Vertex> pa, pb;
+  const Bfs2dResult a = run_bfs_2d(c, d, root, &pa, o);
+  const Bfs2dResult b = run_bfs_2d(c, d, root, &pb, o);
   EXPECT_DOUBLE_EQ(a.time_ns, b.time_ns);
   EXPECT_EQ(a.levels, b.levels);
   EXPECT_EQ(a.visited, b.visited);
+  EXPECT_EQ(a.directions, b.directions);
+  EXPECT_EQ(pa, pb);
 }
 
 TEST(Bfs2d, IsolatedRoot) {
@@ -144,7 +248,7 @@ TEST(Bfs2d, IsolatedRoot) {
       break;
     }
   ASSERT_NE(isolated, graph::kNoVertex);
-  const Grid2d grid(g.num_vertices(), 4);
+  const Grid2d grid = Grid2d::make(g.num_vertices(), 4, 4);
   const DistGraph2d d = DistGraph2d::build(g, grid);
   rt::Cluster c(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 4);
   std::vector<graph::Vertex> parent;
@@ -153,58 +257,81 @@ TEST(Bfs2d, IsolatedRoot) {
   EXPECT_EQ(parent[isolated], isolated);
 }
 
-TEST(Bfs2d, RejectsShapeMismatch) {
+TEST(Bfs2d, RejectsBadShapes) {
   const graph::Csr g = make_csr(9);
-  const Grid2d grid(g.num_vertices(), 4);
+  const Grid2d grid = Grid2d::make(g.num_vertices(), 4, 4);
   const DistGraph2d d = DistGraph2d::build(g, grid);
-  rt::Cluster c(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 8);
-  EXPECT_THROW(run_bfs_2d(c, d, 0), std::invalid_argument);
+  // Cluster rank count != grid size.
+  rt::Cluster c8(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 8);
+  EXPECT_THROW(run_bfs_2d(c8, d, 0), std::invalid_argument);
+  // ppn does not divide C: a 2x2 grid on ppn=4 leaves rows split.
+  rt::Cluster c4(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 4);
+  const Grid2d bad(g.num_vertices(), 2, 2);
+  const DistGraph2d dbad = DistGraph2d::build(g, bad);
+  EXPECT_THROW(run_bfs_2d(c4, dbad, 0), std::invalid_argument);
+  // Root out of range.
+  EXPECT_THROW(
+      run_bfs_2d(c4, d, static_cast<graph::Vertex>(g.num_vertices())),
+      std::invalid_argument);
 }
 
 TEST(Bfs2d, ExpandSmallerThanOneDAllgather) {
-  // The point of 2-D: per-level expand moves a band (n/sqrt(np)) instead of
-  // the whole bitmap — its per-level cost must be below the 1-D exchange.
+  // The point of 2-D: per-level expand moves a col-band (n/C per rank)
+  // instead of the whole bitmap — its per-level cost must be below the 1-D
+  // flat-ring exchange of the full frontier.
   const graph::Csr g = make_csr(12, 3);
-  const Grid2d grid(g.num_vertices(), 64);
+  const Grid2d grid = Grid2d::make(g.num_vertices(), 64, 8);
   const DistGraph2d d = DistGraph2d::build(g, grid);
   rt::Cluster c(sim::Topology::xeon_x7550_cluster(8),
                 sim::CostParams{}.with_paper_cache_scaling(g.num_vertices()),
                 8);
-  graph::Vertex root = 0;
-  while (g.degree(root) == 0) ++root;
-  const Bfs2dResult res = run_bfs_2d(c, d, root);
+  const Bfs2dResult res = run_bfs_2d(c, d, first_root(g));
   EXPECT_GT(res.expand_ns_per_level, 0.0);
-  const double one_d = rt::coll_model::flat_ring(
-                           c, grid.padded() / 8 / 64)
-                           .total_ns;
+  const double one_d =
+      rt::coll_model::flat_ring(c, grid.padded() / 8 / 64).total_ns;
   EXPECT_LT(res.expand_ns_per_level, one_d);
 }
 
-}  // namespace
-}  // namespace numabfs::bfs2d
+// --- fault tolerance parity (satellite: checkpoint/adoption) ------------
 
-namespace numabfs::bfs2d {
-namespace {
-
-TEST(Bfs2d, SharedFoldReducesCommWithoutChangingTree) {
-  // The paper's sharing composed onto the 2-D row exchange: same tree,
-  // strictly cheaper fold (the CICO bounce disappears).
-  const graph::Csr g = make_csr(11, 9);
-  const Grid2d grid(g.num_vertices(), 64);
+TEST(Bfs2dFaults, SurvivesSingleRankCrash) {
+  const graph::Csr g = make_csr(10, 5);
+  const Grid2d grid = Grid2d::make(g.num_vertices(), 16, 4);  // 4x4
   const DistGraph2d d = DistGraph2d::build(g, grid);
-  rt::Cluster c(sim::Topology::xeon_x7550_cluster(8), sim::CostParams{}, 8);
-  graph::Vertex root = 0;
-  while (g.degree(root) == 0) ++root;
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(4), sim::CostParams{}, 4);
+  const graph::Vertex root = first_root(g);
 
-  std::vector<graph::Vertex> pa, pb;
-  const Bfs2dResult plain = run_bfs_2d(c, d, root, &pa);
+  std::vector<graph::Vertex> healthy;
+  const Bfs2dResult base = run_bfs_2d(c, d, root, &healthy);
+
+  c.set_fault_injector(std::make_shared<faults::FaultInjector>(
+      faults::FaultPlan::parse("crash:rank=2@level=2"), c.nranks(), c.ppn()));
+  std::vector<graph::Vertex> parent;
   Bfs2dOptions o;
-  o.shared_fold = true;
-  const Bfs2dResult shared = run_bfs_2d(c, d, root, &pb, o);
-  EXPECT_EQ(pa, pb);
-  EXPECT_LT(shared.fold_ns_per_level, plain.fold_ns_per_level);
-  EXPECT_LT(shared.time_ns, plain.time_ns);
-  EXPECT_DOUBLE_EQ(shared.expand_ns_per_level, plain.expand_ns_per_level);
+  o.hier = rt::coll_model::HierLevel::node;
+  const Bfs2dResult res = run_bfs_2d(c, d, root, &parent, o);
+  c.set_fault_injector(nullptr);
+
+  const auto v = graph::validate_bfs_tree(g, root, parent);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(res.visited, base.visited);
+  EXPECT_EQ(res.recoveries, 1);
+  EXPECT_EQ(res.ranks_lost, 1);
+  EXPECT_GT(res.profile_avg.counters().adoptions, 0u);
+  // The rolled-back level re-runs: the wall clock exceeds the healthy run.
+  EXPECT_GT(res.time_ns, base.time_ns);
+}
+
+TEST(Bfs2dFaults, RefusesCrashPlanWithoutCheckpointing) {
+  const graph::Csr g = make_csr(9);
+  const Grid2d grid = Grid2d::make(g.num_vertices(), 4, 4);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(1), sim::CostParams{}, 4);
+  c.set_fault_injector(std::make_shared<faults::FaultInjector>(
+      faults::FaultPlan::parse("checkpoint:off,crash:rank=1@level=1"),
+      c.nranks(), c.ppn()));
+  EXPECT_THROW(run_bfs_2d(c, d, first_root(g)), faults::FaultError);
+  c.set_fault_injector(nullptr);
 }
 
 }  // namespace

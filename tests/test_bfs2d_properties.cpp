@@ -1,0 +1,232 @@
+/// Property tests pinning the 2-D decomposition's communication-volume laws
+/// (DESIGN.md §13). The byte counts in Level2dTrace are exact functions of
+/// the grid shape, so any regression in the transpose/expand/fold/return
+/// paths shows up as a broken conservation law rather than a flaky
+/// perf number:
+///   - expand (column allgather) raw bytes  == np * (R-1) * piece_bytes
+///     on EVERY level — per-rank volume O(n/C), the term that beats the
+///     1-D allgather's O(n);
+///   - claim-return (row allgather) raw     == np * (C-1) * piece_bytes
+///     on every level followed by a bottom-up level, else 0;
+///   - transpose raw == piece_bytes * (np - #fixed points of the
+///     transpose map) on every level;
+///   - with the codec off, wire == raw on every leg.
+/// And the cross-shape invariant: nf/mf/rem are global allreduced sums, so
+/// the direction history — hence visited set, level count, and parents'
+/// validity — cannot depend on the grid shape, the codec, or the
+/// collective hierarchy.
+
+#include "bfs2d/bfs2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/rmat.hpp"
+#include "graph/validate.hpp"
+#include "numasim/topology.hpp"
+#include "runtime/cluster.hpp"
+
+namespace numabfs::bfs2d {
+namespace {
+
+graph::Csr make_csr(int scale, std::uint64_t seed = 13) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = 8;
+  p.seed = seed;
+  return graph::Csr::from_edges(p.num_vertices(), graph::rmat_edges(p));
+}
+
+graph::Vertex first_root(const graph::Csr& g) {
+  graph::Vertex root = 0;
+  while (g.degree(root) == 0) ++root;
+  return root;
+}
+
+int transpose_fixed_points(const Grid2d& g) {
+  int fixed = 0;
+  for (int p = 0; p < g.np(); ++p)
+    if (g.transpose_dest(p) == p) ++fixed;
+  return fixed;
+}
+
+struct Shape {
+  int nodes, ppn, rows, cols;
+};
+
+// Grid shapes spanning square, wide, tall, and multi-node rows.
+const Shape kShapes[] = {
+    {4, 4, 4, 4},   // square, rows span one node
+    {2, 4, 2, 4},   // wide
+    {4, 2, 4, 2},   // tall (C == ppn)
+    {4, 4, 2, 8},   // wide, rows span two nodes
+};
+
+void check_volume_laws(const Bfs2dResult& r, const Grid2d& g,
+                       bool codec_off) {
+  const std::uint64_t piece_bytes = g.piece_bits() / 8;
+  const std::uint64_t np = static_cast<std::uint64_t>(g.np());
+  const std::uint64_t expand_law =
+      np * static_cast<std::uint64_t>(g.rows() - 1) * piece_bytes;
+  const std::uint64_t return_law =
+      np * static_cast<std::uint64_t>(g.cols() - 1) * piece_bytes;
+  const std::uint64_t transpose_law =
+      piece_bytes *
+      (np - static_cast<std::uint64_t>(transpose_fixed_points(g)));
+  for (size_t i = 0; i < r.trace.size(); ++i) {
+    const Level2dTrace& lt = r.trace[i];
+    SCOPED_TRACE("level " + std::to_string(lt.level));
+    EXPECT_EQ(lt.expand_raw_bytes, expand_law);
+    EXPECT_EQ(lt.transpose_raw_bytes, transpose_law);
+    // The claim return runs exactly when the NEXT level is bottom-up.
+    const bool next_bu = i + 1 < r.trace.size() && r.trace[i + 1].direction == 1;
+    EXPECT_EQ(lt.return_raw_bytes, next_bu ? return_law : 0u);
+    if (codec_off) {
+      EXPECT_EQ(lt.expand_wire_bytes, lt.expand_raw_bytes);
+      EXPECT_EQ(lt.transpose_wire_bytes, lt.transpose_raw_bytes);
+      EXPECT_EQ(lt.fold_wire_bytes, lt.fold_raw_bytes);
+      EXPECT_EQ(lt.return_wire_bytes, lt.return_raw_bytes);
+    } else {
+      // The fold gate is byte-based: coded only when strictly smaller.
+      EXPECT_LE(lt.fold_wire_bytes, lt.fold_raw_bytes);
+    }
+  }
+}
+
+TEST(Bfs2dVolume, ExpandFollowsTheColBandLawAcrossShapes) {
+  const graph::Csr g = make_csr(10);
+  const graph::Vertex root = first_root(g);
+  for (const Shape& s : kShapes) {
+    SCOPED_TRACE(std::to_string(s.rows) + "x" + std::to_string(s.cols));
+    const Grid2d grid(g.num_vertices(), s.rows, s.cols);
+    const DistGraph2d d = DistGraph2d::build(g, grid);
+    rt::Cluster c(sim::Topology::xeon_x7550_cluster(s.nodes),
+                  sim::CostParams{}, s.ppn);
+    for (bool codec : {false, true}) {
+      Bfs2dOptions o;
+      o.codec = codec ? bfs::CodecMode::gate : bfs::CodecMode::off;
+      o.exchange_chunks = codec ? 2 : 1;
+      o.hier = codec ? rt::coll_model::HierLevel::node
+                     : rt::coll_model::HierLevel::flat;
+      const Bfs2dResult r = run_bfs_2d(c, d, root, nullptr, o);
+      ASSERT_GT(r.levels, 1);
+      check_volume_laws(r, grid, /*codec_off=*/!codec);
+    }
+  }
+}
+
+TEST(Bfs2dVolume, PerRankExpandShrinksWithTheColumnCount) {
+  // The law itself: total expand volume is np*(R-1)*piece = (R-1)/R * n/8
+  // per rank-level... so the PER-RANK share (R-1)*piece_bytes ~ n/C falls
+  // as the grid widens, while the 1-D equivalent stays (np-1)*n/np ~ n.
+  const graph::Csr g = make_csr(10);
+  const Grid2d tall(g.num_vertices(), 8, 2);
+  const Grid2d wide(g.num_vertices(), 2, 8);
+  const std::uint64_t per_rank_tall =
+      static_cast<std::uint64_t>(tall.rows() - 1) * tall.piece_bits() / 8;
+  const std::uint64_t per_rank_wide =
+      static_cast<std::uint64_t>(wide.rows() - 1) * wide.piece_bits() / 8;
+  EXPECT_LT(per_rank_wide, per_rank_tall);
+  const std::uint64_t one_d = (16 - 1) * (tall.padded() / 16) / 8;
+  EXPECT_LT(per_rank_wide, one_d);
+  // And the measured trace agrees with the closed form.
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(4), sim::CostParams{}, 4);
+  const DistGraph2d d = DistGraph2d::build(g, wide);
+  const Bfs2dResult r = run_bfs_2d(c, d, first_root(g));
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace[0].expand_raw_bytes / 16, per_rank_wide);
+}
+
+TEST(Bfs2dInvariance, ResultsIdenticalAcrossShapesCodecAndHierarchy) {
+  const graph::Csr g = make_csr(10, 99);
+  const graph::Vertex root = first_root(g);
+
+  std::vector<graph::Vertex> ref_parent;
+  std::vector<int> ref_directions;
+  std::uint64_t ref_visited = 0;
+  bool have_ref = false;
+
+  for (const Shape& s : kShapes) {
+    const Grid2d grid(g.num_vertices(), s.rows, s.cols);
+    const DistGraph2d d = DistGraph2d::build(g, grid);
+    rt::Cluster c(sim::Topology::xeon_x7550_cluster(s.nodes),
+                  sim::CostParams{}, s.ppn);
+    for (int mode = 0; mode < 3; ++mode) {
+      SCOPED_TRACE(std::to_string(s.rows) + "x" + std::to_string(s.cols) +
+                   " mode " + std::to_string(mode));
+      Bfs2dOptions o;
+      if (mode >= 1) {
+        o.codec = bfs::CodecMode::gate;
+        o.exchange_chunks = 4;
+      }
+      if (mode == 2) o.hier = rt::coll_model::HierLevel::node;
+      std::vector<graph::Vertex> parent;
+      const Bfs2dResult r = run_bfs_2d(c, d, root, &parent, o);
+      const auto v = graph::validate_bfs_tree(g, root, parent);
+      ASSERT_TRUE(v.ok) << v.error;
+      if (!have_ref) {
+        ref_parent = parent;
+        ref_directions = r.directions;
+        ref_visited = r.visited;
+        have_ref = true;
+        // The hybrid must actually exercise both kernels for this test to
+        // mean anything.
+        EXPECT_GT(r.td_levels, 0);
+        EXPECT_GT(r.bu_levels, 0);
+        continue;
+      }
+      // nf/mf/rem are global sums: the Beamer history cannot depend on the
+      // shape, the codec, or the collective hierarchy...
+      EXPECT_EQ(r.directions, ref_directions);
+      EXPECT_EQ(r.visited, ref_visited);
+      // ...and neither can the tree's reachability (parents may differ only
+      // if tie-breaking differed — it must not, the claim order is fixed).
+      EXPECT_EQ(parent, ref_parent);
+    }
+  }
+}
+
+TEST(Bfs2dInvariance, ForcedCodecsKeepTheRawEquivalentLaw) {
+  // Forcing a codec changes the wire bytes (encodings carry headers) but
+  // never the raw-equivalent accounting: the volume law stays exact, so
+  // compression ratios computed from the trace remain meaningful.
+  const graph::Csr g = make_csr(9);
+  const Grid2d grid(g.num_vertices(), 4, 4);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(4), sim::CostParams{}, 4);
+  const std::uint64_t expand_law = static_cast<std::uint64_t>(grid.np()) *
+                                   (grid.rows() - 1) * grid.piece_bits() / 8;
+  for (bfs::CodecMode m :
+       {bfs::CodecMode::force_sparse, bfs::CodecMode::force_dense}) {
+    Bfs2dOptions o;
+    o.codec = m;
+    const Bfs2dResult r = run_bfs_2d(c, d, first_root(g), nullptr, o);
+    for (const Level2dTrace& lt : r.trace) {
+      EXPECT_EQ(lt.expand_raw_bytes, expand_law);
+      EXPECT_GT(lt.expand_wire_bytes, 0u);
+    }
+  }
+}
+
+TEST(Bfs2dVolume, FoldMovesWholeClaimPairs) {
+  // Fold raw bytes come in whole (child, parent) pairs — 8 bytes each with
+  // 32-bit vertices (own-column claims never ride the wire, so the count is
+  // at most the cross-column claims) — and every level's discoveries sum to
+  // the visited count.
+  const graph::Csr g = make_csr(10);
+  const Grid2d grid(g.num_vertices(), 4, 4);
+  const DistGraph2d d = DistGraph2d::build(g, grid);
+  rt::Cluster c(sim::Topology::xeon_x7550_cluster(4), sim::CostParams{}, 4);
+  const Bfs2dResult r = run_bfs_2d(c, d, first_root(g));
+  std::uint64_t discovered = 1;  // the root
+  bool any_fold_bytes = false;
+  for (const Level2dTrace& lt : r.trace) {
+    EXPECT_EQ(lt.fold_raw_bytes % (2 * sizeof(graph::Vertex)), 0u);
+    any_fold_bytes |= lt.fold_raw_bytes > 0;
+    discovered += lt.discovered;
+  }
+  EXPECT_TRUE(any_fold_bytes);
+  EXPECT_EQ(discovered, r.visited);
+}
+
+}  // namespace
+}  // namespace numabfs::bfs2d

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "runtime/coll_model.hpp"
 
 namespace numabfs::rt::coll_model {
@@ -125,6 +127,102 @@ TEST(CollModel, AllreduceScalesLogarithmically) {
   const double t128 = allreduce_scalar_ns(c, 128);
   EXPECT_NEAR(t128 / t2, 7.0, 1e-9);
   EXPECT_DOUBLE_EQ(allreduce_scalar_ns(c, 1), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical subgroup collectives (the 2-D grid's column/row primitives)
+// ---------------------------------------------------------------------------
+
+TEST(HierColl, DegenerateSubgroupIsFree) {
+  Cluster c(make(4, 4));
+  for (HierLevel h : {HierLevel::flat, HierLevel::node, HierLevel::socket}) {
+    // One member total: nothing to exchange.
+    EXPECT_DOUBLE_EQ(
+        hier_subgroup_allgather(c, 1, 1, 4, 1 << 16, h).total_ns, 0.0);
+    EXPECT_DOUBLE_EQ(hier_alltoallv_ns(c, 1, 1, 0, 0, h), 0.0);
+  }
+}
+
+TEST(HierColl, NodeAwareBeatsFlatForManySmallMessages) {
+  // The hierarchy's whole point: R small per-member messages collapse into
+  // one staged message per node, trading ~R alpha charges for one memcpy.
+  // Only visible at a physical per-message latency (the paper-scaled params
+  // shrink alpha until bandwidth dominates).
+  Cluster c(make(16, 8));
+  const std::uint64_t small = 512;  // a col-band piece at modest scale
+  // A column of an R x C grid: one member per node, ppn sibling columns.
+  const double flat =
+      hier_subgroup_allgather(c, 16, 1, 8, small, HierLevel::flat).total_ns;
+  const double node =
+      hier_subgroup_allgather(c, 16, 1, 8, small, HierLevel::node).total_ns;
+  EXPECT_LT(node, flat);
+}
+
+TEST(HierColl, SocketSkipsTheCicoFactorOfNodeStaging) {
+  // socket = node-aware staging without the copy-in/copy-out factor, so it
+  // can never cost more than node at the same shape.
+  Cluster c(make(8, 8));
+  for (std::uint64_t b : {std::uint64_t{512}, std::uint64_t{1} << 16,
+                          std::uint64_t{1} << 20}) {
+    const double node =
+        hier_subgroup_allgather(c, 2, 8, 1, b, HierLevel::node).total_ns;
+    const double socket =
+        hier_subgroup_allgather(c, 2, 8, 1, b, HierLevel::socket).total_ns;
+    EXPECT_LE(socket, node) << b;
+    EXPECT_GT(socket, 0.0) << b;
+  }
+}
+
+TEST(HierColl, MonotoneInBytesAndSpan) {
+  Cluster c(make(16, 8));
+  for (HierLevel h : {HierLevel::flat, HierLevel::node}) {
+    EXPECT_LT(hier_subgroup_allgather(c, 8, 1, 8, 1 << 12, h).total_ns,
+              hier_subgroup_allgather(c, 8, 1, 8, 1 << 16, h).total_ns);
+    EXPECT_LT(hier_subgroup_allgather(c, 4, 1, 8, 1 << 14, h).total_ns,
+              hier_subgroup_allgather(c, 16, 1, 8, 1 << 14, h).total_ns);
+  }
+}
+
+TEST(HierColl, RecursiveDoublingHelpsWideColumns) {
+  // rd replaces the (span-1)-step ring with log2(span) exchange rounds;
+  // for small messages over many nodes the latency saving dominates.
+  Cluster c(make(16, 8));
+  const std::uint64_t small = 512;
+  const double ring =
+      hier_subgroup_allgather(c, 16, 1, 8, small, HierLevel::node, false)
+          .total_ns;
+  const double rd =
+      hier_subgroup_allgather(c, 16, 1, 8, small, HierLevel::node, true)
+          .total_ns;
+  EXPECT_LT(rd, ring);
+}
+
+TEST(HierColl, AlltoallvLeadersCutInjectionSerialization) {
+  // A row exchange with ppn members per node: flat injects per_node^2
+  // messages per peer node step; leaders inject one. At small payloads the
+  // alpha term decides it.
+  Cluster c(make(8, 8));
+  const std::uint64_t bytes = 8 << 10;
+  const double flat =
+      hier_alltoallv_ns(c, 4, 8, bytes, 3 * bytes, HierLevel::flat);
+  const double node =
+      hier_alltoallv_ns(c, 4, 8, bytes, 3 * bytes, HierLevel::node);
+  EXPECT_LT(node, flat);
+  // More inter-node volume costs more, whatever the level.
+  EXPECT_LT(hier_alltoallv_ns(c, 4, 8, bytes, bytes, HierLevel::node),
+            hier_alltoallv_ns(c, 4, 8, bytes, 8 * bytes, HierLevel::node));
+}
+
+TEST(HierColl, Pipelined2Bounds) {
+  // Two-stage K-chunk pipeline: never better than max(a,b) + max(a,b)/K,
+  // never worse than a + b, and exact at the endpoints.
+  const double a = 900.0, b = 400.0;
+  EXPECT_DOUBLE_EQ(pipelined2_ns(a, b, 1), a + b);
+  for (int k = 2; k <= 8; k *= 2) {
+    const double t = pipelined2_ns(a, b, k);
+    EXPECT_LT(t, a + b);
+    EXPECT_GE(t, std::max(a, b));
+  }
 }
 
 }  // namespace
