@@ -34,6 +34,9 @@ BENCHES = [
     ("ablation", "bench_ablation_compression",
      ["--scale=13", "--roots=1", "--nodes=4", "--ppn=2", "--weak=0"]),
     ("failover", "bench_failover", ["--soak-short"]),
+    ("dynamic", "bench_dynamic_graph",
+     ["--scale=12", "--nodes=2", "--ppn=2", "--batch=4", "--queries=6",
+      "--ops=400", "--ingest-gap-us=200"]),
     # The 2-D crossover sweep runs to 256 nodes so the gate pins the scale
     # ceiling itself, not a small-shape proxy (~40 s of virtual-cluster
     # time; every value is still bit-reproducible).
@@ -60,6 +63,16 @@ SERIES = [
     ("failover.chaos.full.attainment", "up"),
     ("failover.chaos.failover_blip_ns", "down"),
     ("failover.chaos.shed_rate", "down"),
+    # Dynamic graph layer: serving latency with and without live ingest,
+    # the merged-view read amplification, validated throughput under the
+    # heaviest ingest cell, and the bit-identity gate itself (every query
+    # must keep validating against the rebuilt CSR at its pinned epoch).
+    ("dyn.i0.g250us.p99_latency_ns", "down"),
+    ("dyn.i1600.g250us.p99_latency_ns", "down"),
+    ("dyn.i1600.g250us.read_amp", "down"),
+    ("dyn.i1600.g250us.teps", "up"),
+    ("dyn.i1600.g250us.valid", "up"),
+    ("dyn.i1600.g2000us.compactions", "up"),
     # 2-D weak scaling past the 1-D ceiling: hier-collective TEPS at the
     # three largest sizes, the 1-D reference it must beat at 256 nodes, and
     # the codec's wire-byte reduction against the codec-off 2-D run.

@@ -49,6 +49,10 @@ run bench_query_engine --scale=$((17 + BOOST)) \
     --svg="$OUT/bench_query_engine_p95.svg" \
     --trace="$OUT/bench_query_engine_trace.json" \
     --metrics="$OUT/bench_query_engine_metrics.json"
+run bench_dynamic_graph --scale=$((17 + BOOST)) \
+    --svg="$OUT/bench_dynamic_graph_p99.svg" \
+    --trace="$OUT/bench_dynamic_graph_trace.json" \
+    --metrics="$OUT/bench_dynamic_graph_metrics.json"
 run bench_failover --scale=$((15 + BOOST)) \
     --svg="$OUT/bench_failover_p99.svg" \
     --trace="$OUT/bench_failover_trace.json" \

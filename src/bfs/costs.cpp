@@ -55,6 +55,11 @@ UnitCosts unit_costs(const rt::Cluster& c, const Config& cfg,
   u.group_search_ns =
       cp.probe_work_ns *
       std::max(1.0, std::log2(static_cast<double>(sz.td_group_count) + 1.0));
+  // Merged-view read amplification: the dirty-bitmap word is LLC-resident
+  // (one bit per owned vertex), the patch row lands a second, random
+  // access into the (cold) patch storage — modeled as one private-graph
+  // probe plus the bitmap check.
+  u.delta_probe_ns = cp.probe_work_ns + u.visited_probe_ns;
 
   // Intra-rank OpenMP: k sockets each scale over their own cores.
   const int cores = c.topo().cores_per_socket();

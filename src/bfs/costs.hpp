@@ -20,6 +20,11 @@ struct UnitCosts {
   double word_stream_ns = 0;    ///< one 64-bit word of a sequential pass
   double write_ns = 0;          ///< one pred/out_queue/out_summary update
   double group_search_ns = 0;   ///< one top-down group lookup (binary search)
+  /// One delta-dirty row / patched-group access of a merged epoch view
+  /// (DESIGN.md §14): the dirty-bitmap probe plus the patch-storage
+  /// indirection. Zero-count on frozen graphs, so static runs are
+  /// bit-identical with or without the dynamic layer linked in.
+  double delta_probe_ns = 0;
   double omp_div = 1.0;         ///< intra-rank parallel efficiency divisor
 
   /// Convenience: ns for a sequential pass over `words`, already /omp_div.

@@ -66,7 +66,7 @@ void reset_state(rt::Proc& p, const graph::DistGraph& dg, DistState& st,
     const std::uint64_t lv = root - lg.vbegin;
     st.visited(p.rank).set(lv);
     pred[lv] = root;
-    st.unvisited_edges(p.rank) -= lg.bu_offsets[lv + 1] - lg.bu_offsets[lv];
+    st.unvisited_edges(p.rank) -= lg.degree(lv);
   }
 
   p.charge(sim::Phase::other, u.stream_pass_ns(2 * padded_words + block_words));
@@ -175,10 +175,7 @@ BfsRunResult run_bfs(rt::Cluster& c, const graph::DistGraph& dg, DistState& st,
 
     const std::uint64_t n = dg.n;
     const bool root_owned = root >= lg.vbegin && root < lg.vend;
-    std::uint64_t root_deg =
-        root_owned ? lg.bu_offsets[root - lg.vbegin + 1] -
-                         lg.bu_offsets[root - lg.vbegin]
-                   : 0;
+    std::uint64_t root_deg = root_owned ? lg.degree(root - lg.vbegin) : 0;
     // Frontier stats of "level -1": the root alone.
     std::uint64_t frontier_edges =
         rt::allreduce_sum(p, world, root_deg, sim::Phase::stall);

@@ -37,22 +37,25 @@ LevelResult top_down_level(rt::Proc& p, const graph::LocalGraph& lg,
       pred[lv] = key;
       discovered.push_back(v);
       writes += 2;
-      const std::uint64_t deg = lg.bu_offsets[lv + 1] - lg.bu_offsets[lv];
+      const std::uint64_t deg = lg.degree(lv);
       ++res.discovered;
       res.discovered_edges += deg;
       unvisited_edges -= deg;
     }
   }
 
+  const std::uint64_t dprobes = lg.take_patch_reads();
   auto& cnt = p.prof.counters();
   cnt.edges_scanned += edges;
   cnt.queue_writes += writes;
   cnt.vertices_visited += res.discovered;
+  cnt.delta_probes += dprobes;
 
   const double ns = (static_cast<double>(frontier.size()) * u.group_search_ns +
                      static_cast<double>(edges) * u.edge_scan_ns +
                      static_cast<double>(vis_probes) * u.visited_probe_ns +
-                     static_cast<double>(writes) * u.write_ns) /
+                     static_cast<double>(writes) * u.write_ns +
+                     static_cast<double>(dprobes) * u.delta_probe_ns) /
                     u.omp_div;
   p.charge(sim::Phase::td_comp, ns);
   return res;
@@ -113,7 +116,7 @@ LevelResult bottom_up_level(rt::Proc& p, const graph::LocalGraph& lg,
           out_s.mark(v);
           discovered.push_back(v);
           ++hits;
-          const std::uint64_t deg = lg.bu_offsets[lv + 1] - lg.bu_offsets[lv];
+          const std::uint64_t deg = lg.degree(lv);
           ++res.discovered;
           res.discovered_edges += deg;
           unvisited_edges -= deg;
@@ -123,6 +126,7 @@ LevelResult bottom_up_level(rt::Proc& p, const graph::LocalGraph& lg,
     }
   }
 
+  const std::uint64_t dprobes = lg.take_patch_reads();
   auto& cnt = p.prof.counters();
   cnt.edges_scanned += edges;
   cnt.summary_probes += summary_probes;
@@ -131,13 +135,15 @@ LevelResult bottom_up_level(rt::Proc& p, const graph::LocalGraph& lg,
   cnt.frontier_hits += hits;
   cnt.queue_writes += hits * 3;
   cnt.vertices_visited += res.discovered;
+  cnt.delta_probes += dprobes;
 
   const double ns =
       u.stream_pass_ns(owned_words) +
       (static_cast<double>(edges) * u.edge_scan_ns +
        static_cast<double>(summary_probes) * u.summary_probe_ns +
        static_cast<double>(in_probes) * u.inqueue_probe_ns +
-       static_cast<double>(hits) * 3.0 * u.write_ns) /
+       static_cast<double>(hits) * 3.0 * u.write_ns +
+       static_cast<double>(dprobes) * u.delta_probe_ns) /
           u.omp_div;
   p.charge(sim::Phase::bu_comp, ns);
   return res;

@@ -18,7 +18,7 @@ std::uint64_t degree_of(const graph::DistGraph& dg, graph::Vertex v) {
   const int r = dg.part.owner(v);
   const auto& lg = dg.locals[static_cast<std::size_t>(r)];
   const std::uint64_t lv = v - lg.vbegin;
-  return lg.bu_offsets[lv + 1] - lg.bu_offsets[lv];
+  return lg.degree(lv);
 }
 
 /// Uniform double in [0, 1) from the top 53 bits of a splitmix64 draw.
@@ -154,6 +154,22 @@ EngineReport QueryEngine::serve(std::span<const Query> queries) {
     }
     admit(now);
 
+    // Dynamic serving: pin the wave's snapshot before forming the batch.
+    // The pin instant fixes the epoch every lane of the wave serves, and
+    // the pin cost lands on the serving path — it delays the wave start,
+    // so snapshot acquisition is part of every rider's latency.
+    PinnedGraph pg;
+    if (ec_.graph_source) {
+      pg = ec_.graph_source(now);
+      now += pg.pin_ns;
+      if (tr != nullptr)
+        tr->instant(tr->host_track(), obs::kCatEngine, "snapshot.pin", now,
+                    obs::kv("epoch", pg.epoch) + "," +
+                        obs::kv("pin_ns", pg.pin_ns));
+      admit(now);
+    }
+    const graph::DistGraph& wdg = pg.graph != nullptr ? *pg.graph : dg_;
+
     // Dequeue up to max_batch lanes; the freed slots let door-blocked
     // arrivals enter the queue now (they ride a later wave).
     wave.clear();
@@ -184,7 +200,14 @@ EngineReport QueryEngine::serve(std::span<const Query> queries) {
       // In-wave rank clocks restart at 0; land their events at wave start.
       tr->set_base_ns(now);
     }
-    const WaveResult wr = run_wave(cluster_, dg_, ws_, wave);
+    WaveResult wr;
+    if (ec_.graph_source) {
+      WaveOptions wo;
+      wo.epoch = pg.epoch;
+      wr = run_wave(cluster_, wdg, ws_, wave, wo);
+    } else {
+      wr = run_wave(cluster_, wdg, ws_, wave);
+    }
     if (tr != nullptr) {
       tr->set_base_ns(0);
       tr->span(tr->host_track(), obs::kCatEngine,
@@ -195,6 +218,7 @@ EngineReport QueryEngine::serve(std::span<const Query> queries) {
       auto& r = rep.results[wave_idx[static_cast<std::size_t>(l)]];
       const LaneResult& lr = wr.lanes[static_cast<std::size_t>(l)];
       r.complete_ns = now + lr.complete_ns;
+      r.epoch = wr.epoch;
       r.complete_level = lr.complete_level;
       r.reached = lr.reached;
       r.visited = lr.visited;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -46,6 +47,9 @@ struct QueryResult {
   int wave = 0;            ///< index of that wave
   int lane = 0;            ///< lane within the wave
   int complete_level = 0;
+  /// Graph epoch the query's wave was pinned to (dynamic graph layer);
+  /// 0 when serving a static graph.
+  std::uint64_t epoch = 0;
   bool reached = false;       ///< st_reachability verdict
   std::uint64_t visited = 0;  ///< vertices the lane discovered
 
@@ -69,11 +73,32 @@ struct WorkloadSpec {
 using WaveSink = std::function<void(std::span<const WaveQuery>,
                                     const WaveResult&, WaveState&)>;
 
+/// An epoch-stamped graph view handed to the serving tier by the dynamic
+/// graph layer (dyn::SnapshotManager::pin). `graph` stays valid for as long
+/// as the pointer is held, even across background compactions; `pin_ns` is
+/// the modeled cost of acquiring it (charged on the serving path, so pins
+/// delay the wave they admit). A null `graph` means "serve the engine's
+/// bound static graph" — the static path, bit-identical to pre-dynamic
+/// behavior.
+struct PinnedGraph {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const graph::DistGraph> graph;
+  double pin_ns = 0;
+};
+
+/// Pins the freshest consistent snapshot at virtual instant `now_ns`.
+/// Called once per wave at admission; every lane of the wave serves the
+/// returned epoch (QueryResult::epoch), and exported failover checkpoints
+/// carry it so a resume runs against the same snapshot.
+using GraphSource = std::function<PinnedGraph(double now_ns)>;
+
 struct EngineConfig {
   int max_batch = 64;    ///< lanes per wave (1..64)
   int queue_depth = 256; ///< admission queue bound (backpressure beyond it)
   bool track_parents = true;
   WaveSink sink;         ///< optional per-wave observer
+  GraphSource graph_source;  ///< optional dynamic-graph pin hook (unset:
+                             ///< serve the bound static graph)
 };
 
 /// Aggregated serving report.

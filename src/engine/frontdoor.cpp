@@ -207,6 +207,11 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
     std::uint64_t resume_mask = 0;
     double ready_ns = 0;   // detection instant
     double abort_abs = 0;  // tier-absolute abort time
+    // The aborted wave's pinned snapshot (dynamic graphs): the resume runs
+    // against the SAME epoch on the healthy replica — the checkpointed lane
+    // state is only meaningful relative to that adjacency. Holding the
+    // shared_ptr keeps the snapshot alive across background compactions.
+    PinnedGraph pg;
   };
   std::vector<Failover> pending;
 
@@ -320,13 +325,22 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
   const auto launch = [&](int r, double start, std::vector<WaveQuery> batch,
                           std::vector<std::size_t> idx,
                           const WaveCheckpoint* resume,
-                          std::uint64_t resume_mask, bool after_failover) {
+                          std::uint64_t resume_mask, bool after_failover,
+                          PinnedGraph pg) {
     auto& rs = reps[static_cast<std::size_t>(r)];
     rt::Cluster& c = *replicas_[static_cast<std::size_t>(r)].cluster;
-    const graph::DistGraph& dg = *replicas_[static_cast<std::size_t>(r)].dg;
+    // Snapshot acquisition is on the serving path: the pin delays the wave
+    // (a failover re-dispatch carries pin_ns = 0 — it already holds the
+    // snapshot). Replicas are content-identical, so one pinned view stands
+    // in for each replica's local copy of the same epoch.
+    start += pg.pin_ns;
+    const graph::DistGraph& dg =
+        pg.graph != nullptr ? *pg.graph
+                            : *replicas_[static_cast<std::size_t>(r)].dg;
     WaveState& ws = states_[static_cast<std::size_t>(r)];
 
     WaveOptions o;
+    o.epoch = pg.epoch;
     if (rs.outage_ns < inf) o.abort_at_ns = rs.outage_ns - start;
     o.export_every = fdc_.export_every;
     if (fdc_.checkpoint_waves) o.export_to = &rs.ckpt;
@@ -363,6 +377,7 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
       if (!lr.finished) continue;  // aborted first; the failover unit below
       res.outcome = after_failover ? Outcome::failed_over : Outcome::served;
       res.replica = r;
+      res.epoch = wr.epoch;
       res.complete_ns = start + lr.complete_ns;
       res.complete_level = lr.complete_level;
       res.reached = lr.reached;
@@ -391,6 +406,8 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
                                      : wr.unfinished;
       fo.ready_ns = rs.detect_ns;
       fo.abort_abs = abort_abs;
+      fo.pg = std::move(pg);
+      fo.pg.pin_ns = 0;  // the snapshot is already held; no re-pin charge
       pending.push_back(std::move(fo));
     }
   };
@@ -420,7 +437,7 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
             std::max(rep.failover_blip_ns, now - fo.abort_abs);
         if (fo.ckpt.valid && fo.resume_mask != 0) {
           launch(r, now, std::move(fo.batch), std::move(fo.idx), &fo.ckpt,
-                 fo.resume_mask, true);
+                 fo.resume_mask, true, std::move(fo.pg));
         } else {
           // No usable epoch (death before the first export): re-run the
           // unfinished lanes from scratch.
@@ -433,9 +450,11 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
             batch.push_back(fo.batch[l]);
             idx.push_back(fo.idx[l]);
           }
+          // The from-scratch re-run still serves the original epoch: the
+          // query was admitted against that snapshot, and the unit holds it.
           if (!batch.empty())
             launch(r, now, std::move(batch), std::move(idx), nullptr, 0,
-                   true);
+                   true, std::move(fo.pg));
         }
         launched = true;
         continue;
@@ -445,7 +464,10 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
       std::vector<std::size_t> idx;
       form_batch(now, batch, idx);
       if (batch.empty()) continue;  // everything degraded or shed
-      launch(r, now, std::move(batch), std::move(idx), nullptr, 0, false);
+      PinnedGraph pg;
+      if (fdc_.graph_source) pg = fdc_.graph_source(now);
+      launch(r, now, std::move(batch), std::move(idx), nullptr, 0, false,
+             std::move(pg));
       last_dequeue = now;
       admit(now);  // freed queue slots let door-blocked arrivals in
       launched = true;

@@ -99,6 +99,12 @@ struct FrontDoorConfig {
   std::function<void(int, std::span<const WaveQuery>, const WaveResult&,
                      WaveState&)>
       sink;
+  /// Optional dynamic-graph pin hook (engine.hpp). When set, every fresh
+  /// wave pins a snapshot at dispatch and serves that epoch; the pinned
+  /// view travels with the wave's failover unit, so a mid-query failover
+  /// resumes against the SAME snapshot on the healthy replica — never a
+  /// newer epoch that would make the checkpointed lane state inconsistent.
+  GraphSource graph_source;
 };
 
 /// How one query left the tier.
@@ -124,6 +130,9 @@ struct ServedQuery {
   double start_ns = 0;     ///< dispatch of the (first) wave it rode
   double complete_ns = 0;  ///< NaN for shed/lost
   int replica = -1;        ///< replica that completed it (-1: cache/shed)
+  /// Graph epoch the completing wave was pinned to (0: static graph or
+  /// cache-degraded answer). A failed-over query keeps its original epoch.
+  std::uint64_t epoch = 0;
   int complete_level = 0;
   bool reached = false;
   std::uint64_t visited = 0;

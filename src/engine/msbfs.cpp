@@ -168,10 +168,11 @@ LevelStats dense_level(rt::Proc& p, const graph::LocalGraph& lg,
       ++writes;
     }
     if (parents) writes += std::popcount(newbits);
-    res.frontier_edges += lg.bu_offsets[lv + 1] - lg.bu_offsets[lv];
+    res.frontier_edges += lg.degree(lv);
   }
 
   res.scanned = edges;
+  const std::uint64_t dprobes = lg.take_patch_reads();
   auto& cnt = p.prof.counters();
   cnt.edges_scanned += edges;
   if (use_summary) {
@@ -182,6 +183,7 @@ LevelStats dense_level(rt::Proc& p, const graph::LocalGraph& lg,
   cnt.frontier_hits += discovering;
   cnt.queue_writes += writes;
   cnt.vertices_visited += res.discovered_bits;
+  cnt.delta_probes += dprobes;
 
   const double summary_ns =
       use_summary ? static_cast<double>(edges) * u.summary_probe_ns : 0.0;
@@ -189,7 +191,8 @@ LevelStats dense_level(rt::Proc& p, const graph::LocalGraph& lg,
       u.stream_pass_ns(owned) +
       (static_cast<double>(edges) * u.edge_scan_ns + summary_ns +
        static_cast<double>(in_probes) * u.inqueue_probe_ns +
-       static_cast<double>(writes) * u.write_ns) /
+       static_cast<double>(writes) * u.write_ns +
+       static_cast<double>(dprobes) * u.delta_probe_ns) /
           u.omp_div;
   p.charge(sim::Phase::bu_comp, ns);
   return res;
@@ -234,7 +237,7 @@ LevelStats sparse_level(rt::Proc& p, const graph::LocalGraph& lg,
       if (out[lw] == 0) {
         ++writes;  // first discovery of w this level
         ++res.discovered_vertices;
-        res.frontier_edges += lg.bu_offsets[lw + 1] - lg.bu_offsets[lw];
+        res.frontier_edges += lg.degree(lw);
         out_s.mark(lw);
       }
       seen[lw] |= need;
@@ -255,17 +258,20 @@ LevelStats sparse_level(rt::Proc& p, const graph::LocalGraph& lg,
   }
 
   res.scanned = edges;
+  const std::uint64_t dprobes = lg.take_patch_reads();
   auto& cnt = p.prof.counters();
   cnt.edges_scanned += edges;
   cnt.frontier_hits += nonzero;
   cnt.queue_writes += writes;
   cnt.vertices_visited += res.discovered_bits;
+  cnt.delta_probes += dprobes;
 
   const double ns =
       u.stream_pass_ns(n) +
       (static_cast<double>(nonzero) * u.group_search_ns +
        static_cast<double>(edges) * (u.edge_scan_ns + u.visited_probe_ns) +
-       static_cast<double>(writes) * u.write_ns) /
+       static_cast<double>(writes) * u.write_ns +
+       static_cast<double>(dprobes) * u.delta_probe_ns) /
           u.omp_div;
   p.charge(sim::Phase::td_comp, ns);
   return res;
@@ -715,8 +721,7 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
         for (int l = 0; l < nq; ++l) {
           const graph::Vertex s = queries[static_cast<std::size_t>(l)].source;
           if ((active >> l & 1) && s >= lg.vbegin && s < lg.vend)
-            my_src_edges += lg.bu_offsets[s - lg.vbegin + 1] -
-                            lg.bu_offsets[s - lg.vbegin];
+            my_src_edges += lg.degree(s - lg.vbegin);
         }
       }
       const std::uint64_t src_edges =
@@ -778,6 +783,7 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
           xp->dir = dir;
           xp->use_summary = ch.use_summary;
           xp->active = active;
+          xp->epoch = opts.epoch;
           xp->valid = true;
           p.charge(sim::Phase::other, u.stream_pass_ns(frontier.size()));
         }
@@ -835,7 +841,7 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
         for (std::uint64_t lv = 0; lv < qlg.owned(); ++lv) {
           if ((active & ~seen[lv]) != 0) {
             ++my_needy;
-            my_mu += qlg.bu_offsets[lv + 1] - qlg.bu_offsets[lv];
+            my_mu += qlg.degree(lv);
           }
         }
         p.charge(sim::Phase::switch_conv,
@@ -984,6 +990,7 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
   });
 
   WaveResult out;
+  out.epoch = opts.epoch;
   const auto& profiles = c.profiles();
   double max_total = 0;
   sim::PhaseProfile sum;

@@ -87,6 +87,8 @@ struct LaneResult {
 
 /// Result of one batched wave.
 struct WaveResult {
+  /// Graph epoch the wave served (WaveOptions::epoch; 0 for static graphs).
+  std::uint64_t epoch = 0;
   double wave_ns = 0;  ///< virtual wall time of the wave (max over ranks)
   sim::PhaseProfile profile_avg;  ///< mean over ranks (counters summed)
   int levels = 0;
@@ -107,6 +109,10 @@ struct WaveResult {
 /// always describes a consistent pre-crash state.
 struct WaveCheckpoint {
   bool valid = false;
+  /// Graph epoch the exporting wave was pinned to. A failover resume must
+  /// run against the same pinned snapshot — lane state (seen words,
+  /// distances) is only meaningful relative to that adjacency.
+  std::uint64_t epoch = 0;
   int level = 0;             ///< level the next kernel would run
   int dir = 0;               ///< kernel chosen for that level (0 sparse)
   bool use_summary = false;  ///< dense kernel's summary decision
@@ -121,6 +127,10 @@ struct WaveCheckpoint {
 /// Knobs of the fault-tolerant wave entry point. Defaults reproduce the
 /// plain run_wave bit-for-bit (no horizon, no export, fresh start).
 struct WaveOptions {
+  /// Graph epoch the wave serves (dynamic graph layer): stamped into the
+  /// WaveResult and every exported checkpoint. Purely a label at this
+  /// layer — the caller passes the matching pinned DistGraph view.
+  std::uint64_t epoch = 0;
   /// Virtual time at which this replica stops making progress (its outage
   /// instant). The wave aborts at the first clock-aligned point at or past
   /// it: lanes retired strictly before keep their results, the rest are

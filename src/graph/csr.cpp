@@ -1,10 +1,12 @@
 #include "graph/csr.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace numabfs::graph {
 
-Csr Csr::from_edges(std::uint64_t num_vertices, std::span<const Edge> edges) {
+Csr Csr::from_edges(std::uint64_t num_vertices, std::span<const Edge> edges,
+                    EdgePolicy policy) {
   Csr g;
   g.n_ = num_vertices;
   g.offsets_.assign(num_vertices + 1, 0);
@@ -25,6 +27,25 @@ Csr Csr::from_edges(std::uint64_t num_vertices, std::span<const Edge> edges) {
     g.adj_[cursor[e.u]++] = e.v;
     g.adj_[cursor[e.v]++] = e.u;
   }
+  if (policy == EdgePolicy::keep_multiplicity) return g;
+
+  // Set semantics: sort each row and collapse parallel edges, then
+  // recompact. Row order becomes canonical (ascending), independent of the
+  // edge-list order the graph was built from.
+  std::vector<std::uint64_t> new_offsets(num_vertices + 1, 0);
+  std::uint64_t w = 0;
+  for (std::uint64_t v = 0; v < num_vertices; ++v) {
+    const std::uint64_t b = g.offsets_[v];
+    const std::uint64_t e = g.offsets_[v + 1];
+    std::sort(g.adj_.begin() + static_cast<std::ptrdiff_t>(b),
+              g.adj_.begin() + static_cast<std::ptrdiff_t>(e));
+    new_offsets[v] = w;
+    for (std::uint64_t i = b; i < e; ++i)
+      if (i == b || g.adj_[i] != g.adj_[i - 1]) g.adj_[w++] = g.adj_[i];
+  }
+  new_offsets[num_vertices] = w;
+  g.adj_.resize(w);
+  g.offsets_ = std::move(new_offsets);
   return g;
 }
 

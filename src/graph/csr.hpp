@@ -12,12 +12,31 @@
 
 namespace numabfs::graph {
 
+/// Duplicate-edge semantics of Csr::from_edges (DESIGN.md §14).
+///
+/// The frozen Graph500 path keeps parallel edges exactly as generated
+/// (`keep_multiplicity`): TEPS counts every adjacency entry, as in the
+/// reference code, and adjacency rows preserve edge-list order.
+///
+/// The mutating path needs *set* semantics (`sorted_dedup`): rows are
+/// sorted and parallel edges collapse to one entry, so that
+/// delete-then-reinsert of an edge round-trips every degree to its prior
+/// value, and a delta-merged view is bit-identical to a from-scratch
+/// rebuild (both produce the same sorted, duplicate-free rows — parent
+/// selection in the kernels depends on row order).
+enum class EdgePolicy {
+  keep_multiplicity,  ///< Graph500 reference semantics (the default)
+  sorted_dedup,       ///< canonical set semantics for the dynamic layer
+};
+
 class Csr {
  public:
   /// Build from an edge list. Undirected: every edge is stored in both
   /// directions. Self-loops are dropped (they cannot contribute to a BFS
-  /// tree); duplicate edges are kept, as in the Graph500 reference code.
-  static Csr from_edges(std::uint64_t num_vertices, std::span<const Edge> edges);
+  /// tree); duplicate edges follow `policy` (kept in generation order by
+  /// default, as in the Graph500 reference code).
+  static Csr from_edges(std::uint64_t num_vertices, std::span<const Edge> edges,
+                        EdgePolicy policy = EdgePolicy::keep_multiplicity);
 
   std::uint64_t num_vertices() const { return n_; }
   /// Directed adjacency entries stored (2x the undirected edge count).

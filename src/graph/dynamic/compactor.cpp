@@ -1,0 +1,25 @@
+#include "graph/dynamic/compactor.hpp"
+
+namespace numabfs::dyn {
+
+bool Compactor::due() const {
+  const std::uint64_t live = mgr_.live_records();
+  if (live < policy_.min_records) {
+    if (policy_.every_epochs == 0 || live == 0) return false;
+  }
+  if (live >= policy_.min_records && mgr_.fill() >= policy_.fill_trigger)
+    return true;
+  return policy_.every_epochs != 0 &&
+         mgr_.epoch() - last_compact_epoch_ >= policy_.every_epochs &&
+         live > 0;
+}
+
+std::optional<CompactionStats> Compactor::maybe_compact(double now_ns) {
+  if (!due()) return std::nullopt;
+  CompactionStats cs = mgr_.compact(now_ns);
+  last_compact_epoch_ = cs.epoch;
+  ++compactions_;
+  return cs;
+}
+
+}  // namespace numabfs::dyn

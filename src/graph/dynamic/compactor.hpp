@@ -1,0 +1,53 @@
+#pragma once
+/// \file compactor.hpp
+/// Background compaction policy of the dynamic graph layer (DESIGN.md §14).
+/// The Compactor watches the manager's delta-store fill at epoch
+/// boundaries and, when due, rebuilds the per-rank base CSRs through
+/// SnapshotManager::compact(). In virtual time the merge work overlaps
+/// serving (queries keep running on the old base — their snapshots hold it
+/// alive); only the returned `pause_ns` (the base-swap barrier) must be
+/// added to the serving clock by the driver.
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/dynamic/snapshot.hpp"
+
+namespace numabfs::dyn {
+
+struct CompactorPolicy {
+  /// Compact when live records exceed this fraction of the base's directed
+  /// edges (LSM fill trigger).
+  double fill_trigger = 0.10;
+  /// Never compact below this many live records (avoids churning the base
+  /// on tiny delta sets).
+  std::uint64_t min_records = 4096;
+  /// Optionally also compact every N sealed epochs regardless of fill
+  /// (0 disables the periodic trigger).
+  std::uint64_t every_epochs = 0;
+};
+
+class Compactor {
+ public:
+  Compactor(SnapshotManager& mgr, CompactorPolicy policy)
+      : mgr_(mgr), policy_(policy) {}
+
+  /// Whether the policy would compact now.
+  bool due() const;
+
+  /// Call at an epoch boundary with the driver's virtual clock. Runs a
+  /// compaction if due and returns its stats; the caller adds pause_ns to
+  /// the serving timeline (merge_ns ran in the background).
+  std::optional<CompactionStats> maybe_compact(double now_ns = 0);
+
+  std::uint64_t compactions() const { return compactions_; }
+  const CompactorPolicy& policy() const { return policy_; }
+
+ private:
+  SnapshotManager& mgr_;
+  CompactorPolicy policy_;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t last_compact_epoch_ = 0;
+};
+
+}  // namespace numabfs::dyn

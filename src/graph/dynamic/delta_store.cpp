@@ -1,0 +1,56 @@
+#include "graph/dynamic/delta_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace numabfs::dyn {
+
+namespace {
+
+/// Memtable order: (owned, nbr) only. Records of the same edge compare
+/// equal so stable sorts/merges preserve submission order — the basis of
+/// last-wins resolution within an epoch.
+bool key_less(const DeltaRec& a, const DeltaRec& b) {
+  return a.owned != b.owned ? a.owned < b.owned : a.nbr < b.nbr;
+}
+
+}  // namespace
+
+void DeltaStore::append(std::vector<DeltaRec> batch) {
+  if (batch.empty()) return;
+  for (const DeltaRec& r : batch) {
+    if (r.owned < vbegin_ || r.owned >= vend_)
+      throw std::invalid_argument(
+          "DeltaStore::append: record not owned by this rank");
+    if (!recs_.empty() && r.epoch < recs_.back().epoch)
+      throw std::invalid_argument(
+          "DeltaStore::append: epochs must be monotone");
+    if (r.tombstone) ++tombstones_;
+  }
+  std::stable_sort(batch.begin(), batch.end(), key_less);
+  const std::size_t mid = recs_.size();
+  recs_.insert(recs_.end(), batch.begin(), batch.end());
+  std::inplace_merge(recs_.begin(),
+                     recs_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     recs_.end(), key_less);
+}
+
+int DeltaStore::resolve(graph::Vertex owned, graph::Vertex nbr,
+                        std::uint64_t epoch) const {
+  const DeltaRec probe{owned, nbr, 0, false};
+  auto [lo, hi] = std::equal_range(recs_.begin(), recs_.end(), probe, key_less);
+  int r = -1;
+  for (auto it = lo; it != hi; ++it)
+    if (it->epoch <= epoch) r = it->tombstone ? 0 : 1;
+  return r;
+}
+
+void DeltaStore::truncate_through(std::uint64_t epoch) {
+  std::erase_if(recs_, [&](const DeltaRec& r) { return r.epoch <= epoch; });
+  tombstones_ = 0;
+  for (const DeltaRec& r : recs_)
+    if (r.tombstone) ++tombstones_;
+}
+
+}  // namespace numabfs::dyn

@@ -1,0 +1,78 @@
+#pragma once
+/// \file delta_store.hpp
+/// Per-rank delta store of the dynamic graph layer (DESIGN.md §14): a
+/// sorted memtable of epoch-stamped edge mutations keyed by the owned
+/// endpoint, with tombstones for deletions — the LSM "level 0" that merged
+/// epoch views and compactions read from.
+///
+/// The store holds *routed* records: an undirected EdgeOp {u, v} lands as
+/// (owned=u, nbr=v) at u's owner and (owned=v, nbr=u) at v's owner, so each
+/// rank's store fully determines the patches of both of its adjacency views
+/// (bottom-up rows keyed by `owned`, top-down groups keyed by `nbr`).
+///
+/// Ordering invariant: records are sorted by (owned, nbr), and within one
+/// (owned, nbr) edge they appear in submission order (epochs are monotone
+/// across batches, and appends merge stably). Resolution is last-wins among
+/// the records at or before the queried epoch.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace numabfs::dyn {
+
+/// One logical edge mutation as submitted by a writer: insert (remove ==
+/// false) or delete (remove == true) the undirected edge {u, v}.
+struct EdgeOp {
+  graph::Vertex u = 0;
+  graph::Vertex v = 0;
+  bool remove = false;
+};
+
+/// One routed, epoch-stamped half of an EdgeOp, as stored at the owner of
+/// `owned`.
+struct DeltaRec {
+  graph::Vertex owned = 0;     ///< owned endpoint (global id)
+  graph::Vertex nbr = 0;       ///< other endpoint (global id)
+  std::uint64_t epoch = 0;     ///< sealed epoch the op landed in
+  bool tombstone = false;      ///< true: delete {owned, nbr}
+};
+
+class DeltaStore {
+ public:
+  DeltaStore(std::uint64_t vbegin, std::uint64_t vend)
+      : vbegin_(vbegin), vend_(vend) {}
+
+  /// Merge one epoch batch into the memtable. Every record's `owned` must
+  /// lie in [vbegin, vend) and its epoch must be >= every stored epoch.
+  void append(std::vector<DeltaRec> batch);
+
+  /// All live records, in the ordering invariant above.
+  std::span<const DeltaRec> records() const { return recs_; }
+  std::uint64_t size() const { return recs_.size(); }
+  std::uint64_t tombstones() const { return tombstones_; }
+  std::uint64_t bytes() const { return recs_.size() * sizeof(DeltaRec); }
+
+  /// Last-wins membership override for edge {owned, nbr} at `epoch`:
+  /// -1 = no record at or before epoch (base membership stands),
+  ///  0 = deleted, 1 = inserted.
+  int resolve(graph::Vertex owned, graph::Vertex nbr,
+              std::uint64_t epoch) const;
+
+  /// Drop every record with epoch <= `epoch` (they were folded into a
+  /// compacted base).
+  void truncate_through(std::uint64_t epoch);
+
+  std::uint64_t vbegin() const { return vbegin_; }
+  std::uint64_t vend() const { return vend_; }
+
+ private:
+  std::uint64_t vbegin_;
+  std::uint64_t vend_;
+  std::vector<DeltaRec> recs_;
+  std::uint64_t tombstones_ = 0;
+};
+
+}  // namespace numabfs::dyn

@@ -1,0 +1,40 @@
+#include "graph/dynamic/ingest.hpp"
+
+namespace numabfs::dyn {
+
+IngestGenerator::IngestGenerator(const IngestConfig& cfg)
+    : cfg_(cfg),
+      insert_params_(cfg.base),
+      rng_(graph::splitmix64(cfg.seed ^ 0x9e3779b97f4a7c15ull)) {
+  // Inserts come from the same R-MAT recursion re-seeded, so they follow
+  // the base skew but are (almost surely) new edges.
+  insert_params_.seed = graph::splitmix64(cfg.base.seed ^ cfg.seed);
+}
+
+std::vector<EdgeOp> IngestGenerator::next_batch(std::uint64_t nops) {
+  std::vector<EdgeOp> out;
+  out.reserve(nops);
+  const std::uint64_t base_edges = cfg_.base.num_edges();
+  for (std::uint64_t i = 0; i < nops; ++i) {
+    rng_ = graph::splitmix64(rng_);
+    const bool del =
+        static_cast<double>(rng_ >> 11) * 0x1.0p-53 < cfg_.delete_frac;
+    if (del) {
+      // Re-derive one uniformly chosen edge of the original stream; it was
+      // in the base unless an earlier delete already removed it (then the
+      // tombstone is a no-op, as in any LSM).
+      rng_ = graph::splitmix64(rng_);
+      const std::uint64_t j = rng_ % base_edges;
+      const auto e = graph::rmat_edge_range(cfg_.base, j, 1);
+      out.push_back({e[0].u, e[0].v, true});
+    } else {
+      const auto e =
+          graph::rmat_edge_range(insert_params_, insert_cursor_++, 1);
+      out.push_back({e[0].u, e[0].v, false});
+    }
+  }
+  generated_ += nops;
+  return out;
+}
+
+}  // namespace numabfs::dyn

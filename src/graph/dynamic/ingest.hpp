@@ -1,0 +1,46 @@
+#pragma once
+/// \file ingest.hpp
+/// Seeded, reproducible edge-mutation generator for the dynamic graph
+/// layer. Inserts are drawn from a fresh R-MAT stream (same skew as the
+/// base graph, different seed), so the graph keeps its degree distribution
+/// as it grows; deletes re-derive a uniformly random edge of the *original*
+/// R-MAT stream (generation is splittable: edge i depends only on
+/// (seed, i)), so they overwhelmingly hit live base edges and produce
+/// observable degree changes rather than no-op tombstones.
+///
+/// The generator is a pure function of (config, batches drawn so far):
+/// two generators with the same config produce identical op streams, which
+/// is what makes dynamic benches and property tests bit-reproducible.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic/delta_store.hpp"
+#include "graph/rmat.hpp"
+
+namespace numabfs::dyn {
+
+struct IngestConfig {
+  graph::RmatParams base;        ///< params the base graph was built from
+  std::uint64_t seed = 1;        ///< mutation-stream seed
+  double delete_frac = 0.3;      ///< fraction of ops that are deletes
+};
+
+class IngestGenerator {
+ public:
+  explicit IngestGenerator(const IngestConfig& cfg);
+
+  /// The next `nops` mutations of the stream.
+  std::vector<EdgeOp> next_batch(std::uint64_t nops);
+
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  IngestConfig cfg_;
+  graph::RmatParams insert_params_;  ///< base params re-seeded for inserts
+  std::uint64_t insert_cursor_ = 0;
+  std::uint64_t rng_;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace numabfs::dyn

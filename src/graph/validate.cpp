@@ -61,6 +61,20 @@ ValidationResult validate_bfs_tree(const Csr& g, Vertex root,
     for (auto it = chain.rbegin(); it != chain.rend(); ++it) depth[*it] = ++d;
   }
 
+  // Post-delete hardening (dynamic graph layer): a vertex whose adjacency
+  // emptied out — every incident edge tombstoned away — must validate as
+  // unreachable, never trip a generic tree error. Tally them, and reject a
+  // tree that claims to reach one; the root itself is the one exception
+  // (an isolated root is a valid singleton tree, visited == 1).
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (g.degree(static_cast<Vertex>(v)) != 0) continue;
+    ++r.isolated;
+    if (parent[v] != kNoVertex && v != root) {
+      r.error = vfmt("isolated vertex marked reached", v);
+      return r;
+    }
+  }
+
   // Tree edges must be real edges (skip the root's self-edge).
   for (std::uint64_t v = 0; v < n; ++v) {
     const Vertex p = parent[v];

@@ -18,6 +18,11 @@ struct ValidationResult {
   bool ok = false;
   std::string error;                   ///< empty when ok
   std::uint64_t visited = 0;           ///< vertices in the tree
+  /// Vertices with an empty adjacency row. On a post-delete snapshot of
+  /// the dynamic graph layer these are fully-tombstoned vertices: they
+  /// validate as unreachable (an isolated root yields a valid singleton
+  /// tree with visited == 1), and a tree claiming to reach one is an error.
+  std::uint64_t isolated = 0;
   std::uint64_t directed_edges_in_component = 0;  ///< for TEPS accounting
 
   /// Undirected edges traversed (the Graph500 TEPS numerator).

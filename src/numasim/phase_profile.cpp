@@ -33,6 +33,7 @@ Counters& Counters::operator+=(const Counters& o) {
   retransmits += o.retransmits;
   recv_timeouts += o.recv_timeouts;
   adoptions += o.adoptions;
+  delta_probes += o.delta_probes;
   return *this;
 }
 

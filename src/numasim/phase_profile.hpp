@@ -49,6 +49,10 @@ struct Counters {
                                     ///< a drop or a checksum reject
   std::uint64_t recv_timeouts = 0;  ///< finite recv waits that expired
   std::uint64_t adoptions = 0;      ///< dead partitions adopted in recovery
+  /// Dirty-row / patched-group reads through a merged epoch view (dynamic
+  /// graph layer, DESIGN.md section 14): the measured read amplification
+  /// of serving off base-plus-deltas instead of a compacted CSR.
+  std::uint64_t delta_probes = 0;
 
   Counters& operator+=(const Counters& o);
 };

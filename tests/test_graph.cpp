@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "graph/csr.hpp"
@@ -35,6 +36,50 @@ TEST(Csr, KeepsDuplicateEdges) {
   const Csr g = Csr::from_edges(2, edges);
   EXPECT_EQ(g.degree(0), 3u);
   EXPECT_EQ(g.degree(1), 3u);
+}
+
+TEST(Csr, SortedDedupCanonicalizesRows) {
+  // The dynamic graph layer's policy: rows sorted, duplicates collapsed —
+  // the canonical form every merged view and compaction rebuild shares.
+  const std::vector<Edge> edges = {{0, 1}, {0, 1}, {1, 0}, {2, 0}, {0, 2}};
+  const Csr g = Csr::from_edges(3, edges, EdgePolicy::sorted_dedup);
+  EXPECT_EQ(g.degree(0), 2u);  // {1, 2}, not 4 halves
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+  for (Vertex v = 0; v < 3; ++v) {
+    const auto nb = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    EXPECT_EQ(std::adjacent_find(nb.begin(), nb.end()), nb.end());
+  }
+}
+
+TEST(Csr, DeleteThenReinsertRoundTripsDegree) {
+  // Under sorted_dedup, deleting an edge and re-inserting it (even several
+  // times over, as an LSM delta stream may) restores the exact degrees —
+  // the invariant that lets tombstone + re-insert round-trip the graph.
+  RmatParams p;
+  p.scale = 8;
+  p.edgefactor = 8;
+  auto edges = rmat_edges(p);
+  const Csr before = Csr::from_edges(p.num_vertices(), edges,
+                                     EdgePolicy::sorted_dedup);
+  // Pick the first non-self-loop edge, "delete" it, then re-insert twice.
+  std::size_t pick = 0;
+  while (pick < edges.size() && edges[pick].u == edges[pick].v) ++pick;
+  ASSERT_LT(pick, edges.size());
+  const Edge e = edges[pick];
+  edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(pick));
+  edges.push_back(e);
+  edges.push_back(e);  // duplicate re-insert collapses back to one
+  const Csr after = Csr::from_edges(p.num_vertices(), edges,
+                                    EdgePolicy::sorted_dedup);
+  ASSERT_EQ(after.num_directed_edges(), before.num_directed_edges());
+  for (Vertex v = 0; v < p.num_vertices(); ++v) {
+    ASSERT_EQ(after.degree(v), before.degree(v)) << "vertex " << v;
+    const auto a = after.neighbors(v);
+    const auto b = before.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
 }
 
 TEST(Csr, EmptyGraph) {
@@ -148,6 +193,41 @@ TEST(Validate, AcceptsReferenceTree) {
   EXPECT_TRUE(r.ok) << r.error;
   EXPECT_EQ(r.visited, t.visited);
   EXPECT_GT(r.traversed_edges(), 0u);
+}
+
+TEST(Validate, PostDeleteIsolatedVerticesAreUnreachable) {
+  // A post-delete snapshot: vertex 2's edges were all tombstoned away.
+  // The isolated vertex validates as unreachable — counted, not an error.
+  const std::vector<Edge> edges = {{0, 1}, {1, 3}};
+  const Csr g = Csr::from_edges(4, edges, EdgePolicy::sorted_dedup);
+  const BfsTree t = reference_bfs(g, 0);
+  const auto r = validate_bfs_tree(g, 0, t.parent);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.visited, 3u);
+  EXPECT_EQ(r.isolated, 1u);
+}
+
+TEST(Validate, IsolatedRootIsValidSingletonTree) {
+  // Deletes can fully strand the query's root; the singleton tree is valid.
+  const std::vector<Edge> edges = {{1, 2}};
+  const Csr g = Csr::from_edges(3, edges, EdgePolicy::sorted_dedup);
+  const BfsTree t = reference_bfs(g, 0);
+  const auto r = validate_bfs_tree(g, 0, t.parent);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.visited, 1u);
+  EXPECT_EQ(r.isolated, 1u);
+  EXPECT_EQ(r.traversed_edges(), 0u);
+}
+
+TEST(Validate, RejectsTreeReachingIsolatedVertex) {
+  // A stale tree claiming to reach a fully-tombstoned vertex must fail
+  // with the specific isolated-vertex diagnosis.
+  const std::vector<Edge> edges = {{0, 1}};
+  const Csr g = Csr::from_edges(3, edges, EdgePolicy::sorted_dedup);
+  std::vector<Vertex> par = {0, 0, 1};  // vertex 2 has no edges anymore
+  const auto r = validate_bfs_tree(g, 0, par);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("isolated"), std::string::npos) << r.error;
 }
 
 struct Corruption {
