@@ -42,6 +42,9 @@ BENCHES = [
     # time; every value is still bit-reproducible).
     ("ablation2d", "bench_ablation_2d",
      ["--base-scale=11", "--roots=1", "--max-nodes=256", "--ppn=4"]),
+    ("autotune", "bench_autotune",
+     ["--scale=13", "--nodes=2", "--ppn=2", "--roots=1",
+      "--engine-scale=12", "--queries=8", "--rounds=2"]),
 ]
 
 # Pinned series: (metric key, direction). "up" = bigger is better (a drop
@@ -81,6 +84,15 @@ SERIES = [
     ("ablation2d.n256.twod_hier.harmonic_teps", "up"),
     ("ablation2d.n256.oned_gran.harmonic_teps", "up"),
     ("ablation2d.n256.twod_hier_codec.wire_bytes", "down"),
+    # Self-tuning layer: the offline search must never lose to the best
+    # hand-picked configuration (gain >= 1 by construction — a drop means
+    # the search or the seeding broke), and the tuned absolute numbers are
+    # pinned on both objectives.
+    ("autotune.weak.hand_best.harmonic_teps", "up"),
+    ("autotune.weak.tuned.harmonic_teps", "up"),
+    ("autotune.weak.gain", "up"),
+    ("autotune.engine.tuned.qps", "up"),
+    ("autotune.engine.gain", "up"),
 ]
 
 

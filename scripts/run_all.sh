@@ -53,6 +53,9 @@ run bench_dynamic_graph --scale=$((17 + BOOST)) \
     --svg="$OUT/bench_dynamic_graph_p99.svg" \
     --trace="$OUT/bench_dynamic_graph_trace.json" \
     --metrics="$OUT/bench_dynamic_graph_metrics.json"
+run bench_autotune --scale=$((14 + BOOST)) --roots=2 \
+    --emit-profile="$OUT/tuned_profile.json" \
+    --metrics="$OUT/bench_autotune_metrics.json"
 run bench_failover --scale=$((15 + BOOST)) \
     --svg="$OUT/bench_failover_p99.svg" \
     --trace="$OUT/bench_failover_trace.json" \

@@ -41,6 +41,30 @@ const char* to_string(CodecMode m) {
   return "?";
 }
 
+std::string Config::validate() const {
+  if (summary_granularity < 1) return "summary_granularity must be >= 1";
+  if (parallel_allgather && sharing != Sharing::all)
+    return "parallel_allgather requires sharing == all "
+           "(set sharing=all or drop parallel_allgather)";
+  if (alpha <= 0.0 || beta <= 0.0) return "alpha/beta must be positive";
+  if (exchange_chunks < 1 || exchange_chunks > 4096)
+    return "exchange_chunks must be in [1, 4096]";
+  if (exchange_chunks > 1 && codec == CodecMode::off)
+    return "exchange_chunks > 1 requires an active codec: the raw exchange "
+           "has no decode stage to overlap (set codec=gate or exchange_chunks=1)";
+  if (tune.window < 1) return "tune.window must be >= 1";
+  if (tune.hysteresis < 0.0 || tune.hysteresis >= 1.0)
+    return "tune.hysteresis must be in [0, 1)";
+  if (tune.dwell < 0) return "tune.dwell must be >= 0";
+  if (tune.adapt_chunks && codec == CodecMode::off)
+    return "tune.adapt_chunks requires an active codec: there is no pipeline "
+           "depth to adapt on the raw exchange (set codec=gate)";
+  if (tune.adapt_allgather && sharing != Sharing::none)
+    return "tune.adapt_allgather requires sharing == none: shared-memory "
+           "exchange plans do not consult base_algo";
+  return {};
+}
+
 std::string Config::name() const {
   std::ostringstream os;
   os << to_string(bind) << "/share-" << to_string(sharing);

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "runtime/coll_model.hpp"
+#include "tune/controller.hpp"
 
 namespace numabfs::bfs {
 
@@ -45,7 +46,8 @@ GateResult gate_bitmap_chunks(
     std::span<GateChunk> chunks, std::uint64_t chunk_words,
     std::uint64_t chunk_bits, std::uint64_t decode_chunks, const UnitCosts& u,
     sim::Phase phase,
-    const std::function<double(std::uint64_t)>& plan_total_ns) {
+    const std::function<double(std::uint64_t)>& plan_total_ns,
+    double per_chunk_ns) {
   GateResult res;
   res.wire_chunk_bytes = chunk_words * 8;
   const int total = comm.size();
@@ -66,16 +68,20 @@ GateResult gate_bitmap_chunks(
       rt::allreduce_sum(p, comm, my_pop, sim::Phase::stall) /
       static_cast<std::uint64_t>(total);
 
+  // Splitting into K chunks pays (K-1) * per_chunk_ns on top of the
+  // pipelined time — the same charge the final exchange pays, so the gate
+  // optimizes exactly what is charged.
+  const double split_ns = static_cast<double>(K - 1) * per_chunk_ns;
   const double enc_est = u.stream_pass_ns(chunk_words);
   const double dec_est = u.stream_pass_ns(decode_chunks * chunk_words);
   const double raw_est = plan_total_ns(chunk_words * 8);
   const double dense_est =
-      enc_est +
+      enc_est + split_ns +
       cm::pipelined2_ns(
           plan_total_ns(codec::dense_estimate_bytes(chunk_words, mean_pop)),
           dec_est, K);
   const double sparse_est =
-      enc_est +
+      enc_est + split_ns +
       cm::pipelined2_ns(
           plan_total_ns(codec::sparse_estimate_bytes(mean_pop, chunk_bits)),
           dec_est, K);
@@ -122,7 +128,8 @@ GateResult gate_bitmap_chunks(
        static_cast<std::uint64_t>(total) - 1) /
       static_cast<std::uint64_t>(total);
   if (mode != CodecMode::gate ||
-      cm::pipelined2_ns(plan_total_ns(enc_mean), dec_est, K) < raw_est) {
+      cm::pipelined2_ns(plan_total_ns(enc_mean), dec_est, K) + split_ns <
+          raw_est) {
     res.kind = trial;
     res.wire_chunk_bytes = enc_mean;
   }
@@ -313,7 +320,8 @@ SparseExchangeStats exchange_sparse(rt::Proc& p, const graph::DistGraph& dg,
 
 ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
                                 DistState& st, const UnitCosts& u,
-                                sim::Phase phase, std::span<const int> parts) {
+                                sim::Phase phase, std::span<const int> parts,
+                                tune::ExchangeTuner* tuner) {
   rt::Cluster& c = *p.cluster;
   const faults::FaultInjector* inj = c.injector();
   rt::Comm& world = c.world();
@@ -338,15 +346,19 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   const bool par_plan =
       st.shared_in() && st.shared_out() && cfg.parallel_allgather && !degraded;
 
+  // The base allgather algorithm and pipeline depth start at the static
+  // Config knobs; an attached online tuner re-picks them per level below.
+  rt::AllgatherAlgo algo = cfg.base_algo;
+
   // Modeled duration of one allgather under the active plan, as a function
   // of the per-rank chunk size actually on the wire (shared between the
   // codec gate's estimates and the final charge, so the gate optimizes the
   // quantity that is charged).
   const auto plan_time = [&](std::uint64_t chunk_bytes) -> cm::CollTimes {
     if (!st.shared_in()) {
-      if (cfg.base_algo == rt::AllgatherAlgo::flat_ring)
+      if (algo == rt::AllgatherAlgo::flat_ring)
         return cm::flat_ring(c, chunk_bytes);
-      const bool rd = cfg.base_algo == rt::AllgatherAlgo::leader_rd;
+      const bool rd = algo == rt::AllgatherAlgo::leader_rd;
       return cm::leader_allgather(c, chunk_bytes, true, true, 1, rd);
     }
     if (!st.shared_out()) return cm::leader_allgather(c, chunk_bytes, true, false, 1);
@@ -365,6 +377,39 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
       if (q != p.rank) f(q);
   };
 
+  // --- online per-level knob decisions (DESIGN.md §15) ------------------
+  // Inputs are the trailing mean of the gate's allreduced measured chunk
+  // bytes (identical on every rank) and the rank-uniform collective
+  // models, so every rank steps identical arbiter state — the same SPMD
+  // contract as the codec gate itself. Until a measurement exists, the
+  // basis is the raw chunk size, which reproduces the static choice.
+  int K = std::max(1, cfg.exchange_chunks);
+  const double per_chunk_ns = c.params().chunk_split_overhead_ns;
+  if (tuner != nullptr) {
+    const std::uint64_t basis =
+        tuner->ready() ? tuner->trailing_chunk_bytes() : block_words * 8;
+    if (tuner->adapt_allgather() && !st.shared_in()) {
+      std::vector<double> algo_costs;
+      for (int a : tuner->algo_candidates()) {
+        algo = static_cast<rt::AllgatherAlgo>(a);
+        algo_costs.push_back(plan_time(basis).total_ns);
+      }
+      algo = static_cast<rt::AllgatherAlgo>(
+          tuner->algo_candidates()[static_cast<size_t>(
+              tuner->algo_arbiter().decide(algo_costs))]);
+    }
+    if (tuner->adapt_chunks()) {
+      const double wire_est = plan_time(basis).total_ns;
+      const double dec_est = u.stream_pass_ns(assemble_chunks * block_words);
+      std::vector<double> k_costs;
+      for (int k : tuner->k_candidates())
+        k_costs.push_back(cm::pipelined2_ns(wire_est, dec_est, k) +
+                          static_cast<double>(k - 1) * per_chunk_ns);
+      K = tuner->k_candidates()[static_cast<size_t>(
+          tuner->k_arbiter().decide(k_costs))];
+    }
+  }
+
   // --- per-level codec gate (DESIGN.md §10) -----------------------------
   // Every rank computes the same decision from allreduced measured sparsity
   // and rank-uniform unit costs — the same SPMD-deterministic pattern as
@@ -372,7 +417,6 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   // raw wire cost and stays raw. The machinery itself is shared with the
   // 2-D exchange (gate_bitmap_chunks); this call site only describes the
   // 1-D out_queue chunks and the active allgather plan.
-  const int K = std::max(1, cfg.exchange_chunks);
   std::vector<GateChunk> gate_chunks;
   for_owned_parts([&](int q) {
     GateChunk ch;
@@ -386,10 +430,13 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   const GateResult gate = gate_bitmap_chunks(
       p, world, cfg.codec, K, gate_chunks, block_words, block_bits,
       assemble_chunks, u, phase,
-      [&](std::uint64_t b) { return plan_time(b).total_ns; });
+      [&](std::uint64_t b) { return plan_time(b).total_ns; }, per_chunk_ns);
   const codec::Kind kind = gate.kind;
   const double enc_ns = gate.encode_ns;
   const std::uint64_t wire_chunk = gate.wire_chunk_bytes;
+  // Feed the measured (allreduced) chunk size back into the tuner's
+  // trailing window for the next level's decisions.
+  if (tuner != nullptr) tuner->observe(wire_chunk);
 
   // --- data-plumbing helpers (real movement; time is modeled below) -----
   const auto copy_queue_chunk = [&](graph::BitmapView dst, int src_rank) {
@@ -488,10 +535,12 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   double overlap_saved = 0.0;
   if (kind != codec::Kind::raw) {
     // Chunk-pipelined overlap: the decode of wire chunk i proceeds while
-    // chunk i+1 is in flight (K chunks; K=1 degrades to sequential).
+    // chunk i+1 is in flight (K chunks; K=1 degrades to sequential), minus
+    // the per-split message overhead the extra chunks cost.
     dec_ns = u.stream_pass_ns(assemble_chunks * block_words);
     const double seq_ns = total_ns + dec_ns;
-    total_ns = cm::pipelined2_ns(total_ns, dec_ns, K);
+    total_ns = cm::pipelined2_ns(total_ns, dec_ns, K) +
+               static_cast<double>(K - 1) * per_chunk_ns;
     overlap_saved = seq_ns - total_ns;
     p.prof.add_overlap_saved(overlap_saved);
   }
@@ -515,6 +564,8 @@ ExchangeTimes exchange_frontier(rt::Proc& p, const graph::DistGraph& dg,
   ex.overlap_saved_ns = overlap_saved;
   ex.chunk_raw_bytes = qchunk_bytes;
   ex.chunk_wire_bytes = wire_chunk;
+  ex.chunks_used = kind != codec::Kind::raw ? K : 1;
+  ex.algo_used = st.shared_in() ? -1 : static_cast<int>(algo);
   return ex;
 }
 
@@ -529,11 +580,13 @@ ExchangeLevelStats OneDExchange::exchange(rt::Proc& p, int cur_dir,
     if (cur_dir == 0)
       for (int q : parts) discovered_to_out_bits(p, st_, u_, q);
     const ExchangeTimes ex =
-        exchange_frontier(p, dg_, st_, u_, sim::Phase::bu_comm, parts);
+        exchange_frontier(p, dg_, st_, u_, sim::Phase::bu_comm, parts, tuner_);
     s.codec = ex.codec;
     s.wire_bytes = ex.chunk_wire_bytes;
     s.raw_bytes = ex.chunk_raw_bytes;
     s.bitmap = true;
+    s.chunks = ex.chunks_used;
+    s.algo = ex.algo_used;
   } else {
     // Next level is top-down: the sparse list exchange suffices; when
     // leaving bottom-up, the stale out bitmaps are wiped on the way.

@@ -273,6 +273,18 @@ void restore_checkpoint(rt::Proc& p, const Grid2d& g, State2d& st,
 
 }  // namespace
 
+std::string Bfs2dOptions::validate() const {
+  if (summary_granularity < 1) return "summary_granularity must be >= 1";
+  if (alpha <= 0.0 || beta <= 0.0) return "alpha/beta must be positive";
+  if (exchange_chunks < 1 || exchange_chunks > 4096)
+    return "exchange_chunks must be in [1, 4096]";
+  if (exchange_chunks > 1 && codec == bfs::CodecMode::off)
+    return "exchange_chunks > 1 requires an active codec: the raw exchange "
+           "has no decode stage to overlap (set codec=gate or "
+           "exchange_chunks=1)";
+  return {};
+}
+
 Bfs2dResult run_bfs_2d(rt::Cluster& c, const DistGraph2d& dg,
                        graph::Vertex root,
                        std::vector<graph::Vertex>* parent_out,
@@ -290,6 +302,8 @@ Bfs2dResult run_bfs_2d(rt::Cluster& c, const DistGraph2d& dg,
         " so processor rows span whole nodes");
   if (root >= g.n())
     throw std::invalid_argument("run_bfs_2d: root out of range");
+  if (const std::string err = opt.validate(); !err.empty())
+    throw std::invalid_argument("run_bfs_2d: " + err);
 
   const int np = g.np();
   std::vector<bfs::UnitCosts> costs(static_cast<std::size_t>(np));

@@ -137,6 +137,11 @@ struct Bfs2dOptions {
   /// Hierarchy level of the column allgather and row alltoallv.
   rt::coll_model::HierLevel hier = rt::coll_model::HierLevel::flat;
   std::uint64_t summary_granularity = 64;  ///< col-band summary (Fig. 8)
+
+  /// Validate invariants (same contradictory-combo rules as bfs::Config);
+  /// returns an actionable error message or empty. run_bfs_2d calls this
+  /// and throws std::invalid_argument on a non-empty result.
+  std::string validate() const;
 };
 
 /// Per-level record of what the 2-D loop measured (summed over ranks),

@@ -28,16 +28,22 @@ double to_unit(std::uint64_t x) {
 
 }  // namespace
 
+std::string EngineConfig::validate() const {
+  if (max_batch < 1 || max_batch > kMaxLanes)
+    return "max_batch must be in [1, " + std::to_string(kMaxLanes) +
+           "] (one lane word per wave)";
+  if (queue_depth < 1) return "queue_depth must be >= 1";
+  return {};
+}
+
 QueryEngine::QueryEngine(rt::Cluster& c, const graph::DistGraph& dg,
                          const bfs::Config& cfg, EngineConfig ec)
     : cluster_(c),
       dg_(dg),
       ec_(std::move(ec)),
       ws_(dg, cfg, c.topo().nodes(), c.ppn(), ec_.track_parents) {
-  if (ec_.max_batch < 1 || ec_.max_batch > kMaxLanes)
-    throw std::invalid_argument("QueryEngine: max_batch must be 1..64");
-  if (ec_.queue_depth < 1)
-    throw std::invalid_argument("QueryEngine: queue_depth must be >= 1");
+  if (const std::string err = ec_.validate(); !err.empty())
+    throw std::invalid_argument("QueryEngine: " + err);
   if (const std::string err = cfg.validate(); !err.empty())
     throw std::invalid_argument("QueryEngine: " + err);
 }

@@ -99,6 +99,10 @@ struct EngineConfig {
   WaveSink sink;         ///< optional per-wave observer
   GraphSource graph_source;  ///< optional dynamic-graph pin hook (unset:
                              ///< serve the bound static graph)
+
+  /// Validate invariants; returns an actionable error message or empty.
+  /// The QueryEngine ctor calls this and throws on a non-empty result.
+  std::string validate() const;
 };
 
 /// Aggregated serving report.

@@ -128,18 +128,31 @@ class DegradeCache {
 
 }  // namespace
 
+std::string FrontDoorConfig::validate() const {
+  if (max_batch < 1 || max_batch > kMaxLanes)
+    return "max_batch must be in [1, " + std::to_string(kMaxLanes) +
+           "] (one lane word per wave)";
+  if (queue_depth < 1) return "queue_depth must be >= 1";
+  if (hb_period_ns <= 0)
+    return "hb_period_ns must be positive (heartbeat probes need a period)";
+  if (hb_backoff_ns <= 0)
+    return "hb_backoff_ns must be positive (re-probe backoff doubles from it)";
+  if (hb_threshold < 1)
+    return "hb_threshold must be >= 1 consecutive losses";
+  if (export_every < 1)
+    return "export_every must be >= 1 (checkpoint epoch stride in levels)";
+  if (est_window < 1)
+    return "est_window must be >= 1 trailing waves";
+  return {};
+}
+
 FrontDoor::FrontDoor(const bfs::Config& cfg, FrontDoorConfig fdc,
                      std::vector<ReplicaHandle> replicas)
     : cfg_(cfg), fdc_(std::move(fdc)), replicas_(std::move(replicas)) {
   if (replicas_.empty())
     throw std::invalid_argument("FrontDoor: need at least one replica");
-  if (fdc_.max_batch < 1 || fdc_.max_batch > kMaxLanes)
-    throw std::invalid_argument("FrontDoor: max_batch must be 1..64");
-  if (fdc_.queue_depth < 1)
-    throw std::invalid_argument("FrontDoor: queue_depth must be >= 1");
-  if (fdc_.hb_period_ns <= 0 || fdc_.hb_backoff_ns <= 0 ||
-      fdc_.hb_threshold < 1)
-    throw std::invalid_argument("FrontDoor: bad heartbeat parameters");
+  if (const std::string err = fdc_.validate(); !err.empty())
+    throw std::invalid_argument("FrontDoor: " + err);
   if (const std::string err = cfg_.validate(); !err.empty())
     throw std::invalid_argument("FrontDoor: " + err);
   const ReplicaHandle& r0 = replicas_.front();

@@ -105,6 +105,10 @@ struct FrontDoorConfig {
   /// resumes against the SAME snapshot on the healthy replica — never a
   /// newer epoch that would make the checkpointed lane state inconsistent.
   GraphSource graph_source;
+
+  /// Validate invariants; returns an actionable error message or empty.
+  /// The FrontDoor ctor calls this and throws on a non-empty result.
+  std::string validate() const;
 };
 
 /// How one query left the tier.

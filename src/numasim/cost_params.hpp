@@ -52,6 +52,12 @@ struct CostParams {
   /// achieved = peak * f / (f + nic_saturation_k). k = 1 makes one flow
   /// reach ~half of peak and eight flows ~89% of peak, matching the figure.
   double nic_saturation_k = 1.0;
+  /// Extra cost per additional pipeline chunk of a K-chunked collective:
+  /// each split adds one more message (header + MPI envelope) per hop plus
+  /// a pipeline drain bubble. This is what makes the chunk depth an
+  /// *interior* optimum instead of "more chunks is always better"
+  /// (coll_model::pipelined2_ns alone is monotone in K).
+  double chunk_split_overhead_ns = 400.0;
 
   // --- CPU work ---------------------------------------------------------
   /// Instruction overhead per scanned edge beyond its memory traffic.
@@ -107,6 +113,7 @@ struct CostParams {
     c.capacity_scale =
         static_cast<double>(1ull << 32) / static_cast<double>(n_vertices);
     c.nic_msg_latency_ns = nic_msg_latency_ns / c.capacity_scale;
+    c.chunk_split_overhead_ns = chunk_split_overhead_ns / c.capacity_scale;
     return c;
   }
 };

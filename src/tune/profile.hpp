@@ -1,0 +1,76 @@
+#pragma once
+/// \file profile.hpp
+/// TunedProfile (DESIGN.md §15): the versioned JSON artifact the offline
+/// search emits and any bench / the engine loads. A profile is a list of
+/// entries keyed by (graph shape, cluster shape); lookup is exact-match
+/// first, nearest-shape otherwise, so a profile tuned at one scale still
+/// seeds a sensible configuration two scales up.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bfs/config.hpp"
+#include "runtime/coll_model.hpp"
+
+namespace numabfs::engine {
+struct EngineConfig;
+struct FrontDoorConfig;
+}  // namespace numabfs::engine
+namespace numabfs::bfs2d {
+struct Bfs2dOptions;
+}  // namespace numabfs::bfs2d
+
+namespace numabfs::tune {
+
+inline constexpr const char* kProfileSchema = "numabfs.tuned_profile.v1";
+
+/// The key the search tuned for: graph shape x cluster shape.
+struct ShapeKey {
+  int scale = 0;       ///< log2(vertices) of the R-MAT graph
+  int edgefactor = 16;
+  int nodes = 1;
+  int ppn = 1;
+
+  bool operator==(const ShapeKey&) const = default;
+};
+
+/// One tuned operating point.
+struct ProfileEntry {
+  ShapeKey shape;
+  std::string objective;  ///< metric key the score is in ("harmonic_teps", "qps")
+  double score = 0.0;     ///< objective value the search measured
+  bfs::Config config;     ///< every BFS knob, including TuneOptions
+  std::string decomposition = "1d";  ///< "1d" | "2d"
+  rt::coll_model::HierLevel hier = rt::coll_model::HierLevel::flat;  ///< 2-D
+  int batch = 0;          ///< engine lanes per wave (0 = not tuned)
+};
+
+struct TunedProfile {
+  std::string schema = kProfileSchema;
+  std::vector<ProfileEntry> entries;
+
+  /// Exact shape match (first wins), or nullptr.
+  const ProfileEntry* find(const ShapeKey& k) const;
+  /// Exact match if present, else the entry minimizing a weighted log-space
+  /// shape distance; nullptr only when the profile is empty.
+  const ProfileEntry* nearest(const ShapeKey& k) const;
+
+  std::string json() const;
+  /// Parses and validates (schema string, entry configs). Throws
+  /// std::runtime_error with a position-bearing message on malformed input.
+  static TunedProfile parse(const std::string& text);
+
+  void write(const std::string& path) const;
+  static TunedProfile load(const std::string& path);
+};
+
+/// Apply helpers: copy an entry's knobs onto each consumer's option struct.
+/// Only the fields an entry actually tunes are touched.
+bfs::Config to_bfs_config(const ProfileEntry& e);
+void apply(const ProfileEntry& e, bfs2d::Bfs2dOptions& o);
+void apply(const ProfileEntry& e, engine::EngineConfig& ec);
+void apply(const ProfileEntry& e, engine::FrontDoorConfig& fdc);
+
+}  // namespace numabfs::tune

@@ -1,0 +1,111 @@
+#include "tune/search.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace numabfs::tune {
+
+namespace {
+
+std::string point_str(const std::vector<Dim>& dims,
+                      const std::vector<int>& p) {
+  std::ostringstream os;
+  for (size_t i = 0; i < dims.size(); ++i)
+    os << (i ? " " : "") << dims[i].name << "=" << p[i];
+  return os.str();
+}
+
+}  // namespace
+
+SearchResult coordinate_descent(const std::vector<Dim>& dims,
+                                const Objective& objective,
+                                std::vector<int> start,
+                                const std::vector<std::vector<int>>& extra_seeds,
+                                SearchOptions opt) {
+  if (start.size() != dims.size())
+    throw std::invalid_argument("coordinate_descent: start/dims size mismatch");
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i].size < 1)
+      throw std::invalid_argument("coordinate_descent: empty dim " +
+                                  dims[i].name);
+    if (start[i] < 0 || start[i] >= dims[i].size)
+      throw std::invalid_argument("coordinate_descent: start out of range on " +
+                                  dims[i].name);
+  }
+
+  SearchResult res;
+  std::map<std::vector<int>, std::optional<double>> memo;
+
+  auto eval = [&](const std::vector<int>& p) -> std::optional<double> {
+    auto it = memo.find(p);
+    if (it != memo.end()) {
+      ++res.cache_hits;
+      return it->second;
+    }
+    auto score = objective(p);
+    ++res.evaluations;
+    if (!score) ++res.invalid;
+    memo.emplace(p, score);
+    return score;
+  };
+
+  // Score the start plus any seeds; descend from the best valid one.
+  bool have_best = false;
+  auto consider = [&](const std::vector<int>& p, const char* tag) {
+    if (p.size() != dims.size()) return;
+    bool in_range = true;
+    for (size_t i = 0; i < dims.size(); ++i)
+      if (p[i] < 0 || p[i] >= dims[i].size) in_range = false;
+    if (!in_range) return;
+    auto s = eval(p);
+    if (!s) return;
+    if (!have_best || *s > res.best_score) {
+      have_best = true;
+      res.best = p;
+      res.best_score = *s;
+      res.log.push_back(std::string(tag) + ": " + point_str(dims, p) +
+                        " score=" + std::to_string(*s));
+    }
+  };
+  consider(start, "seed");
+  for (const auto& s : extra_seeds) consider(s, "seed");
+  if (!have_best)
+    throw std::runtime_error(
+        "coordinate_descent: no valid seed point (start and all extra seeds "
+        "were rejected by the objective)");
+
+  for (int round = 0; round < opt.max_rounds; ++round) {
+    ++res.rounds;
+    bool improved_this_round = false;
+    for (size_t d = 0; d < dims.size(); ++d) {
+      if (dims[d].size == 1) continue;
+      // Scan outward from the incumbent in both directions; stop a
+      // direction after `prune_after` consecutive non-improving evals.
+      for (int step : {+1, -1}) {
+        int misses = 0;
+        for (int idx = res.best[d] + step; idx >= 0 && idx < dims[d].size;
+             idx += step) {
+          std::vector<int> p = res.best;
+          p[d] = idx;
+          auto s = eval(p);
+          if (s && *s > res.best_score) {
+            res.best = p;
+            res.best_score = *s;
+            improved_this_round = true;
+            misses = 0;
+            res.log.push_back("round " + std::to_string(round) + " " +
+                              dims[d].name + "->" + std::to_string(idx) +
+                              " score=" + std::to_string(*s));
+          } else if (++misses >= opt.prune_after) {
+            break;
+          }
+        }
+      }
+    }
+    if (!improved_this_round) break;
+  }
+  return res;
+}
+
+}  // namespace numabfs::tune

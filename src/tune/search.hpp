@@ -1,0 +1,58 @@
+#pragma once
+/// \file search.hpp
+/// Offline profile search (DESIGN.md §15): coordinate descent over a
+/// discrete knob grid with memoization and early directional pruning.
+/// The objective is whatever the caller measures — in practice a bench
+/// harness running a pinned series and reading the metrics registry —
+/// so the search itself is pure control logic and fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace numabfs::tune {
+
+/// One knob axis: `size` discrete settings indexed 0..size-1. The mapping
+/// from index to knob value lives in the caller's objective.
+struct Dim {
+  std::string name;
+  int size = 1;
+};
+
+/// Returns the score of one grid point (higher is better), or nullopt when
+/// the combination is invalid (e.g. fails Config::validate) — invalid
+/// points are recorded as pruned and never retried.
+using Objective =
+    std::function<std::optional<double>(const std::vector<int>&)>;
+
+struct SearchOptions {
+  /// Full passes over all dimensions; descent also stops early once a
+  /// whole round yields no improvement.
+  int max_rounds = 4;
+  /// Stop scanning a direction along an axis after this many consecutive
+  /// non-improving evaluations (the "early pruning" of the grid).
+  int prune_after = 2;
+};
+
+struct SearchResult {
+  std::vector<int> best;      ///< best point found (indices per Dim)
+  double best_score = 0.0;    ///< objective at `best`
+  int evaluations = 0;        ///< objective calls that actually ran
+  int cache_hits = 0;         ///< grid points re-visited via the memo table
+  int invalid = 0;            ///< points the objective rejected
+  int rounds = 0;             ///< coordinate-descent rounds executed
+  std::vector<std::string> log;  ///< human-readable descent trace
+};
+
+/// Coordinate descent from `start`, optionally pre-scoring `extra_seeds`
+/// (e.g. the hand-picked ladder) and descending from the best of them —
+/// which guarantees the result is >= every seed by construction.
+SearchResult coordinate_descent(const std::vector<Dim>& dims,
+                                const Objective& objective,
+                                std::vector<int> start,
+                                const std::vector<std::vector<int>>& extra_seeds = {},
+                                SearchOptions opt = {});
+
+}  // namespace numabfs::tune
