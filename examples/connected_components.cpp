@@ -4,19 +4,26 @@
 /// connected components of an R-MAT graph and print the size distribution —
 /// R-MAT graphs have one giant component and a dust of tiny ones.
 ///
-/// The sweep is submitted through the query engine: up to 64 unlabeled
-/// seeds go out as one multi-source wave (one lane each), so the dust of
-/// tiny components is labeled by a handful of waves instead of thousands
-/// of one-at-a-time BFS runs. Two seeds can land in the same component;
-/// the later lane simply rediscovers it and is skipped at labeling time.
+/// The labeling runs as ONE min-label propagation program
+/// (engine::ProgramWorkload::components) submitted through the query engine
+/// as a first-class `components` query: every vertex seeds its own id, the
+/// minimum label floods each component through the same frontier-exchange
+/// machinery BFS waves use (direction choice, codec gate, fault tolerance),
+/// and the fixpoint labels every component in one dispatch — including the
+/// dust, which the old BFS-loop sweep needed a wave per 64 seeds to reach.
+/// The per-vertex labels are read in the program sink and validated against
+/// the single-rank min-id reference, so the output provably matches the
+/// BFS-sweep labeling it replaced (both converge to component = min id).
 ///
 ///   ./connected_components [--scale=14] [--nodes=2]
 
-#include <algorithm>
 #include <iostream>
 #include <map>
+#include <span>
+#include <vector>
 
 #include "engine/engine.hpp"
+#include "graph/reference_algos.hpp"
 #include "harness/graph500.hpp"
 #include "harness/options.hpp"
 #include "harness/table.hpp"
@@ -34,87 +41,56 @@ int main(int argc, char** argv) {
 
   const graph::Csr& g = bundle.csr;
   const std::uint64_t n = g.num_vertices();
-  std::vector<std::uint32_t> component(n, 0);  // 0 = unlabeled
-  std::uint32_t next_label = 0;
-  double virtual_ns = 0;
-  std::uint64_t waves = 0;
-  std::uint64_t singletons = 0;
-  std::map<std::uint64_t, std::uint64_t> size_histogram;  // size -> count
 
-  // The engine serves each batch of seeds as one wave; the sink labels the
-  // components from the per-lane distance arrays. Distances suffice, so the
-  // (large) per-lane parent arrays are not tracked.
+  // One components query: the program sink reads the converged per-vertex
+  // labels (component = minimum vertex id) before the state is torn down.
   const bfs::Config cfg = bfs::granularity(256);
   engine::EngineConfig ec;
-  ec.max_batch = engine::kMaxLanes;
   ec.track_parents = false;
-  bool overlap_error = false;
-  ec.sink = [&](std::span<const engine::WaveQuery> wq,
-                const engine::WaveResult&, engine::WaveState& ws) {
-    for (std::size_t l = 0; l < wq.size(); ++l) {
-      // A lane whose seed was labeled by an earlier lane of this wave
-      // rediscovered that component; its coverage is identical, skip it.
-      if (component[wq[l].source] != 0) continue;
-      ++next_label;
-      const auto dist =
-          engine::gather_lane_distances(exp.dist(), ws, static_cast<int>(l));
-      std::uint64_t size = 0;
-      for (std::uint64_t u = 0; u < n; ++u) {
-        if (dist[u] == engine::kUnreached) continue;
-        if (component[u] != 0) {  // BFS leaked into a labeled component
-          std::cerr << "component overlap at vertex " << u << "\n";
-          overlap_error = true;
-          return;
-        }
-        component[u] = next_label;
-        ++size;
-      }
-      ++size_histogram[size];
-    }
+  std::vector<engine::Value> label;
+  int levels = 0;
+  ec.program_sink = [&](const engine::Query&, const engine::ProgramResult& res,
+                        engine::ProgramState& ps) {
+    label = engine::gather_values(exp.dist(), ps);
+    levels = res.levels;
   };
   engine::QueryEngine eng(exp.cluster(), exp.dist(), cfg, ec);
 
-  std::uint64_t cursor = 0;
-  std::uint64_t qid = 0;
-  while (cursor < n) {
-    // Collect the next batch of unlabeled seeds (isolated vertices become
-    // singleton components without occupying a lane).
-    std::vector<engine::Query> batch;
-    for (; cursor < n && batch.size() < engine::kMaxLanes; ++cursor) {
-      const auto v = static_cast<graph::Vertex>(cursor);
-      if (component[cursor] != 0) continue;
-      if (g.degree(v) == 0) {
-        component[cursor] = ++next_label;
-        ++singletons;
-        ++size_histogram[1];
-        continue;
-      }
-      engine::Query q;
-      q.id = qid++;
-      q.kind = engine::QueryKind::full_distances;
-      q.source = v;
-      batch.push_back(q);
+  engine::Query q;
+  q.kind = engine::QueryKind::components;
+  const engine::EngineReport rep = eng.serve(std::span<const engine::Query>(&q, 1));
+  const std::uint64_t ncomp =
+      static_cast<std::uint64_t>(rep.results[0].value);
+
+  // The propagation fixpoint must reproduce the BFS-sweep labeling exactly:
+  // both assign every vertex the minimum id of its component.
+  const auto ref = graph::ref_components(g);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (label[v] != ref[v]) {
+      std::cerr << "label mismatch at vertex " << v << ": " << label[v]
+                << " != " << ref[v] << "\n";
+      return 1;
     }
-    if (batch.empty()) continue;
-    const engine::EngineReport rep = eng.serve(batch);
-    virtual_ns += rep.total_ns;
-    waves += static_cast<std::uint64_t>(rep.waves);
-    if (overlap_error) return 1;
   }
 
-  std::uint64_t labeled = 0;
-  for (std::uint64_t v = 0; v < n; ++v) labeled += component[v] != 0;
-  if (labeled != n) {
-    std::cerr << "not all vertices labeled\n";
-    return 1;
+  std::uint64_t singletons = 0;
+  for (std::uint64_t v = 0; v < n; ++v)
+    singletons += g.degree(static_cast<graph::Vertex>(v)) == 0;
+
+  std::map<std::uint64_t, std::uint64_t> size_histogram;  // size -> count
+  {
+    std::map<std::uint64_t, std::uint64_t> size_of;  // label -> size
+    for (std::uint64_t v = 0; v < n; ++v) ++size_of[label[v]];
+    for (const auto& [lbl, size] : size_of) ++size_histogram[size];
   }
 
   std::cout << "graph: scale " << bundle.params.scale << ", " << n
             << " vertices\n"
-            << "components: " << next_label << " (" << singletons
-            << " isolated vertices), labeled by " << waves
-            << " engine waves\n"
-            << "virtual BFS time total: " << virtual_ns / 1e6 << " ms\n\n";
+            << "components: " << ncomp << " (" << singletons
+            << " isolated vertices), labeled by one " << levels
+            << "-level min-label program (validated against the BFS-sweep"
+               " reference)\n"
+            << "virtual time total: " << rep.total_ns / 1e6 << " ms\n\n";
 
   harness::Table t({"component size", "count"});
   // Largest few first, then the dust.

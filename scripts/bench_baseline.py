@@ -45,6 +45,8 @@ BENCHES = [
     ("autotune", "bench_autotune",
      ["--scale=13", "--nodes=2", "--ppn=2", "--roots=1",
       "--engine-scale=12", "--queries=8", "--rounds=2"]),
+    ("vertexprog", "bench_vertex_programs",
+     ["--scale=12", "--nodes=2", "--ppn=2", "--queries=8"]),
 ]
 
 # Pinned series: (metric key, direction). "up" = bigger is better (a drop
@@ -93,6 +95,16 @@ SERIES = [
     ("autotune.weak.gain", "up"),
     ("autotune.engine.tuned.qps", "up"),
     ("autotune.engine.gain", "up"),
+    # Frontier programs: per-workload serving throughput (every answer is
+    # validated against its single-rank reference before it counts — the
+    # bench exits nonzero otherwise, so `valid` doubles as a correctness
+    # gate), plus the blended wave+program serving rate.
+    ("vertexprog.sssp.teps", "up"),
+    ("vertexprog.pagerank.teps", "up"),
+    ("vertexprog.components.teps", "up"),
+    ("vertexprog.triangles.total_ns", "down"),
+    ("vertexprog.valid", "up"),
+    ("vertexprog.mixed.qps", "up"),
 ]
 
 

@@ -56,6 +56,8 @@ run bench_dynamic_graph --scale=$((17 + BOOST)) \
 run bench_autotune --scale=$((14 + BOOST)) --roots=2 \
     --emit-profile="$OUT/tuned_profile.json" \
     --metrics="$OUT/bench_autotune_metrics.json"
+run bench_vertex_programs --scale=$((16 + BOOST)) \
+    --metrics="$OUT/bench_vertex_programs_metrics.json"
 run bench_failover --scale=$((15 + BOOST)) \
     --svg="$OUT/bench_failover_p99.svg" \
     --trace="$OUT/bench_failover_trace.json" \

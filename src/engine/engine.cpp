@@ -28,6 +28,20 @@ double to_unit(std::uint64_t x) {
 
 }  // namespace
 
+ProgramWorkload workload_of(QueryKind k) {
+  switch (k) {
+    case QueryKind::sssp: return ProgramWorkload::sssp;
+    case QueryKind::pagerank: return ProgramWorkload::pagerank;
+    case QueryKind::components: return ProgramWorkload::components;
+    case QueryKind::triangles: return ProgramWorkload::triangles;
+    case QueryKind::full_distances:
+    case QueryKind::st_reachability:
+    case QueryKind::k_hop:
+      break;
+  }
+  throw std::invalid_argument("workload_of: not a program kind");
+}
+
 std::string EngineConfig::validate() const {
   if (max_batch < 1 || max_batch > kMaxLanes)
     return "max_batch must be in [1, " + std::to_string(kMaxLanes) +
@@ -48,12 +62,28 @@ QueryEngine::QueryEngine(rt::Cluster& c, const graph::DistGraph& dg,
     throw std::invalid_argument("QueryEngine: " + err);
 }
 
+const FrontierProgram& QueryEngine::program_for(QueryKind k,
+                                                const graph::DistGraph& dg,
+                                                std::uint64_t epoch) {
+  const ProgramWorkload w = workload_of(k);
+  CachedProgram& slot = progs_[static_cast<int>(w)];
+  if (slot.prog == nullptr || slot.dg != &dg || slot.epoch != epoch) {
+    slot.prog = make_program(w, dg, ec_.programs);
+    slot.dg = &dg;
+    slot.epoch = epoch;
+  }
+  return *slot.prog;
+}
+
 std::vector<Query> QueryEngine::generate(const graph::DistGraph& dg,
                                          const WorkloadSpec& spec) {
   if (spec.num_queries < 1)
     throw std::invalid_argument("generate: num_queries must be >= 1");
+  const double prog_fraction = spec.sssp_fraction + spec.pagerank_fraction +
+                               spec.components_fraction +
+                               spec.triangles_fraction;
   if (spec.mean_interarrival_ns < 0 ||
-      spec.st_fraction + spec.khop_fraction > 1.0 + 1e-12)
+      spec.st_fraction + spec.khop_fraction + prog_fraction > 1.0 + 1e-12)
     throw std::invalid_argument("generate: bad workload spec");
   if (spec.k_min < 0 || spec.k_max < spec.k_min)
     throw std::invalid_argument("generate: bad k_hop radius range");
@@ -93,6 +123,20 @@ std::vector<Query> QueryEngine::generate(const graph::DistGraph& dg,
       q.k = spec.k_min +
             static_cast<int>(x % static_cast<std::uint64_t>(
                                      spec.k_max - spec.k_min + 1));
+    } else if (double lo = spec.st_fraction + spec.khop_fraction;
+               u < lo + spec.sssp_fraction) {
+      q.kind = QueryKind::sssp;
+      q.source = pick_vertex();
+      q.target = pick_vertex();
+    } else if (lo += spec.sssp_fraction; u < lo + spec.pagerank_fraction) {
+      q.kind = QueryKind::pagerank;
+      q.source = pick_vertex();
+    } else if (lo += spec.pagerank_fraction;
+               u < lo + spec.components_fraction) {
+      q.kind = QueryKind::components;  // whole-graph: no endpoint draw
+    } else if (lo += spec.components_fraction;
+               u < lo + spec.triangles_fraction) {
+      q.kind = QueryKind::triangles;  // whole-graph: no endpoint draw
     } else {
       q.kind = QueryKind::full_distances;
       q.source = pick_vertex();
@@ -176,13 +220,69 @@ EngineReport QueryEngine::serve(std::span<const Query> queries) {
     }
     const graph::DistGraph& wdg = pg.graph != nullptr ? *pg.graph : dg_;
 
+    // A program query at the head of the queue is dispatched alone through
+    // run_program (programs own the whole cluster; they cannot share a
+    // wave's lane words). Admission stays FIFO end to end: a wave never
+    // reaches past the first queued program query.
+    if (!queue.empty() && is_program_kind(queries[queue.front().idx].kind)) {
+      const Admitted a = queue.front();
+      queue.pop_front();
+      last_dequeue = now;
+      admit(now);
+      const Query& q = queries[a.idx];
+      auto& r = rep.results[a.idx];
+      r.id = q.id;
+      r.kind = q.kind;
+      r.arrival_ns = q.arrival_ns;
+      r.admit_ns = a.admit_ns;
+      r.start_ns = now;
+      r.wave = -1;  // not a wave rider
+      r.lane = 0;
+
+      const FrontierProgram& prog = program_for(q.kind, wdg, pg.epoch);
+      ProgramState pstate(wdg, ws_.config(), cluster_.topo().nodes(),
+                          cluster_.ppn(), prog.with_values());
+      ProgramOptions po;
+      po.epoch = pg.epoch;
+      po.max_levels = ec_.programs.max_levels;
+      if (tr != nullptr) tr->set_base_ns(now);
+      const ProgramResult res = run_program(
+          cluster_, wdg, pstate, prog, ProgramQuery{q.source, q.target}, po);
+      if (tr != nullptr) {
+        tr->set_base_ns(0);
+        tr->span(tr->host_track(), obs::kCatEngine,
+                 std::string("program ") + prog.name(), now,
+                 now + res.total_ns,
+                 obs::kv("query", q.id) + "," +
+                     obs::kv("levels", res.levels) + "," +
+                     obs::kv("value", res.value));
+      }
+      r.complete_ns = now + res.total_ns;
+      r.epoch = pg.epoch;
+      r.complete_level = res.levels;
+      r.value = res.value;
+      latencies[a.idx] = r.latency_ns();
+      if (ec_.program_sink) ec_.program_sink(q, res, pstate);
+
+      now += res.total_ns;
+      rep.busy_ns += res.total_ns;
+      rep.levels += res.levels;
+      rep.recoveries += res.recoveries;
+      rep.ranks_lost = std::max(rep.ranks_lost, res.ranks_lost);
+      ++rep.program_runs;
+      ++completed;
+      continue;
+    }
+
     // Dequeue up to max_batch lanes; the freed slots let door-blocked
     // arrivals enter the queue now (they ride a later wave).
     wave.clear();
     wave_idx.clear();
-    const int batch =
+    const int want =
         std::min<int>(ec_.max_batch, static_cast<int>(queue.size()));
-    for (int l = 0; l < batch; ++l) {
+    for (int l = 0; l < want; ++l) {
+      if (is_program_kind(queries[queue.front().idx].kind))
+        break;  // the program query heads the next dispatch
       const Admitted a = queue.front();
       queue.pop_front();
       const Query& q = queries[a.idx];
@@ -197,6 +297,7 @@ EngineReport QueryEngine::serve(std::span<const Query> queries) {
       r.wave = rep.waves;
       r.lane = l;
     }
+    const int batch = static_cast<int>(wave.size());
     last_dequeue = now;
     admit(now);
 

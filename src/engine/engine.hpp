@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "engine/msbfs.hpp"
+#include "engine/programs.hpp"
 
 namespace numabfs::engine {
 
@@ -52,6 +53,9 @@ struct QueryResult {
   std::uint64_t epoch = 0;
   bool reached = false;       ///< st_reachability verdict
   std::uint64_t visited = 0;  ///< vertices the lane discovered
+  /// Program workloads: the scalar answer (distance, rank, component
+  /// count, triangle count). 0 for wave kinds.
+  double value = 0;
 
   double latency_ns() const { return complete_ns - arrival_ns; }
   double queue_ns() const { return start_ns - arrival_ns; }
@@ -66,12 +70,23 @@ struct WorkloadSpec {
   double khop_fraction = 0.0;         ///< share of k-hop queries
   int k_min = 2;                      ///< k_hop radius range (inclusive)
   int k_max = 4;
+  // Program-workload shares (all default 0, so pre-existing workloads keep
+  // their exact draw sequences). The remainder is full-distance BFS.
+  double sssp_fraction = 0.0;
+  double pagerank_fraction = 0.0;
+  double components_fraction = 0.0;
+  double triangles_fraction = 0.0;
 };
 
 /// Called after each wave, before the wave state is reused — the hook the
 /// tests and benches use to validate per-lane distances/parents in place.
 using WaveSink = std::function<void(std::span<const WaveQuery>,
                                     const WaveResult&, WaveState&)>;
+
+/// Called after each program dispatch, before the program state is torn
+/// down — the hook for reading full value arrays (gather_values) in place.
+using ProgramSink =
+    std::function<void(const Query&, const ProgramResult&, ProgramState&)>;
 
 /// An epoch-stamped graph view handed to the serving tier by the dynamic
 /// graph layer (dyn::SnapshotManager::pin). `graph` stays valid for as long
@@ -97,6 +112,8 @@ struct EngineConfig {
   int queue_depth = 256; ///< admission queue bound (backpressure beyond it)
   bool track_parents = true;
   WaveSink sink;         ///< optional per-wave observer
+  ProgramParams programs;    ///< knobs of the program workloads
+  ProgramSink program_sink;  ///< optional per-program-dispatch observer
   GraphSource graph_source;  ///< optional dynamic-graph pin hook (unset:
                              ///< serve the bound static graph)
 
@@ -109,6 +126,7 @@ struct EngineConfig {
 struct EngineReport {
   std::vector<QueryResult> results;  ///< ordered by query id
   int waves = 0;
+  int program_runs = 0;    ///< singleton program dispatches (not waves)
   int levels = 0;          ///< level kernels run, summed over waves
   double total_ns = 0;     ///< virtual makespan (end of the last wave)
   double busy_ns = 0;      ///< sum of wave durations (total - busy = idle)
@@ -147,6 +165,21 @@ class QueryEngine {
   const graph::DistGraph& dg_;
   EngineConfig ec_;
   WaveState ws_;
+  // Program instances are graph-derived (degree arrays, forward adjacency),
+  // so they are cached per (workload, epoch snapshot) and rebuilt when the
+  // serving epoch moves.
+  struct CachedProgram {
+    std::unique_ptr<FrontierProgram> prog;
+    const graph::DistGraph* dg = nullptr;
+    std::uint64_t epoch = 0;
+  };
+  CachedProgram progs_[4];
+
+  const FrontierProgram& program_for(QueryKind k, const graph::DistGraph& dg,
+                                     std::uint64_t epoch);
 };
+
+/// The program workload a program-kind query runs (is_program_kind only).
+ProgramWorkload workload_of(QueryKind k);
 
 }  // namespace numabfs::engine

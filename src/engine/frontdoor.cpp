@@ -18,6 +18,7 @@ const char* to_string(SloClass c) {
     case SloClass::full_distance: return "full";
     case SloClass::k_hop: return "khop";
     case SloClass::reachability: return "reach";
+    case SloClass::analytics: return "analytics";
     case SloClass::kCount: break;
   }
   return "?";
@@ -28,6 +29,11 @@ SloClass slo_class_of(QueryKind k) {
     case QueryKind::full_distances: return SloClass::full_distance;
     case QueryKind::k_hop: return SloClass::k_hop;
     case QueryKind::st_reachability: return SloClass::reachability;
+    case QueryKind::sssp:
+    case QueryKind::pagerank:
+    case QueryKind::components:
+    case QueryKind::triangles:
+      return SloClass::analytics;
   }
   return SloClass::full_distance;
 }
@@ -70,6 +76,14 @@ constexpr std::size_t kNoQuery = static_cast<std::size_t>(-1);
 /// exact, not approximate. Entries carry the virtual instant they became
 /// available; lookups at time T ignore anything newer (replica waves
 /// overlap in virtual time, so "already computed" is a T-relative fact).
+///
+/// Entries are additionally keyed by the dynamic-graph epoch they were
+/// harvested from: a distance array (or component labeling) computed
+/// against an older snapshot is stale the moment the serving epoch moves —
+/// an edge added since can merge components or shorten k-hop balls, so a
+/// stale "exact" answer would silently be wrong. The cache keeps one
+/// epoch's worth of answers and resets wholesale when a harvest or lookup
+/// arrives from a newer epoch (epochs only move forward).
 class DegradeCache {
  public:
   explicit DegradeCache(const graph::DistGraph& dg)
@@ -78,7 +92,8 @@ class DegradeCache {
         comp_avail_(dg.n, 0.0) {}
 
   void harvest(const graph::DistGraph& dg, WaveState& ws, int lane,
-               graph::Vertex source, double avail_ns) {
+               graph::Vertex source, double avail_ns, std::uint64_t epoch) {
+    roll_to(epoch);
     auto d = gather_lane_distances(dg, ws, lane);
     int c = comp_[source];
     if (c < 0) c = next_comp_++;
@@ -90,10 +105,12 @@ class DegradeCache {
     dists_.try_emplace(source, avail_ns, std::move(d));
   }
 
-  /// Exact s-t reachability at time T, when some completed full-distance
-  /// BFS has labeled either endpoint's component by then.
+  /// Exact s-t reachability at time T against snapshot `epoch`, when some
+  /// completed full-distance BFS of that same epoch has labeled either
+  /// endpoint's component by then.
   bool try_reach(graph::Vertex s, graph::Vertex t, double T,
-                 bool& reached) const {
+                 std::uint64_t epoch, bool& reached) const {
+    if (epoch != epoch_) return false;  // cached answers predate the snapshot
     if (comp_[s] >= 0 && comp_avail_[s] <= T) {
       reached = comp_[t] == comp_[s];
       return true;
@@ -105,10 +122,11 @@ class DegradeCache {
     return false;
   }
 
-  /// Exact k-hop neighborhood size at time T, when this exact source has a
-  /// cached distance array by then.
-  bool try_khop(graph::Vertex s, int k, double T,
+  /// Exact k-hop neighborhood size at time T against snapshot `epoch`,
+  /// when this exact source has a same-epoch cached distance array by then.
+  bool try_khop(graph::Vertex s, int k, double T, std::uint64_t epoch,
                 std::uint64_t& visited) const {
+    if (epoch != epoch_) return false;
     const auto it = dists_.find(s);
     if (it == dists_.end() || it->second.first > T) return false;
     std::uint64_t n = 0;
@@ -119,7 +137,17 @@ class DegradeCache {
   }
 
  private:
+  void roll_to(std::uint64_t epoch) {
+    if (epoch == epoch_) return;
+    epoch_ = epoch;
+    std::fill(comp_.begin(), comp_.end(), -1);
+    std::fill(comp_avail_.begin(), comp_avail_.end(), 0.0);
+    next_comp_ = 0;
+    dists_.clear();
+  }
+
   graph::Vertex n_;
+  std::uint64_t epoch_ = 0;  ///< snapshot the cached answers were computed on
   std::vector<int> comp_;
   std::vector<double> comp_avail_;
   int next_comp_ = 0;
@@ -199,6 +227,7 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
     double outage_ns = std::numeric_limits<double>::infinity();
     double detect_ns = std::numeric_limits<double>::infinity();
     WaveCheckpoint ckpt;
+    ProgramCheckpoint pckpt;  ///< analytics dispatches export here
   };
   std::vector<RepState> reps(static_cast<std::size_t>(R));
   for (int r = 0; r < R; ++r) {
@@ -218,6 +247,10 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
     std::vector<std::size_t> idx;   // lane -> query index
     WaveCheckpoint ckpt;
     std::uint64_t resume_mask = 0;
+    // Analytics units: one program query, resumed from its own checkpoint
+    // kind (batch/ckpt/resume_mask stay empty).
+    bool is_program = false;
+    ProgramCheckpoint pckpt;
     double ready_ns = 0;   // detection instant
     double abort_abs = 0;  // tier-absolute abort time
     // The aborted wave's pinned snapshot (dynamic graphs): the resume runs
@@ -294,11 +327,18 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
   // Deadline-aware batch formation, most-critical class first. A k-hop or
   // reachability query that cannot meet its deadline (by the trailing
   // estimate) is degraded to an exact cached answer when possible, shed
-  // otherwise; full-distance queries always ride a wave.
-  const auto form_batch = [&](double t, std::vector<WaveQuery>& batch,
-                              std::vector<std::size_t>& idx) {
+  // otherwise; full-distance queries always ride a wave. Cache lookups are
+  // made against `epoch` — the snapshot pinned for this dispatch — so a
+  // degraded answer is always consistent with the graph the query would
+  // have been served on. Analytics queries are background work: when no
+  // wave query is dispatchable, exactly one is popped and returned (it owns
+  // the whole dispatch); they are never shed or degraded.
+  const auto form_batch = [&](double t, std::uint64_t epoch,
+                              std::vector<WaveQuery>& batch,
+                              std::vector<std::size_t>& idx) -> std::size_t {
     const double est = est_wave_ns(t);
     for (int c = 0; c < ncls; ++c) {
+      if (static_cast<SloClass>(c) == SloClass::analytics) continue;
       auto& q = queues[static_cast<std::size_t>(c)];
       while (!q.empty() &&
              batch.size() < static_cast<std::size_t>(fdc_.max_batch)) {
@@ -312,10 +352,12 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
           bool reached = false;
           std::uint64_t visited = 0;
           if (fdc_.degrade && cls == SloClass::reachability &&
-              cache.try_reach(query.source, query.target, t, reached)) {
+              cache.try_reach(query.source, query.target, t, epoch,
+                              reached)) {
             resolve_degraded(qi, t, reached, 0);
           } else if (fdc_.degrade && cls == SloClass::k_hop &&
-                     cache.try_khop(query.source, query.k, t, visited)) {
+                     cache.try_khop(query.source, query.k, t, epoch,
+                                    visited)) {
             resolve_degraded(qi, t, false, visited);
           } else {
             resolve_dropped(qi, Outcome::shed);
@@ -329,6 +371,16 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
         idx.push_back(qi);
       }
     }
+    auto& aq = queues[static_cast<std::size_t>(
+        static_cast<int>(SloClass::analytics))];
+    if (batch.empty() && !aq.empty()) {
+      const std::size_t qi = aq.front();
+      aq.pop_front();
+      --queued;
+      rep.results[qi].start_ns = t;
+      return qi;
+    }
+    return kNoQuery;
   };
 
   // Run one wave on replica `r` at tier time `start` and account for it:
@@ -399,7 +451,7 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
       end_ns = std::max(end_ns, res.complete_ns);
       if (fdc_.degrade && batch[l].kind == QueryKind::full_distances)
         cache.harvest(dg, ws, static_cast<int>(l), batch[l].source,
-                      res.complete_ns);
+                      res.complete_ns, wr.epoch);
     }
     if (fdc_.sink) fdc_.sink(r, batch, wr, ws);
 
@@ -425,6 +477,105 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
     }
   };
 
+  // Analytics program instances are graph-derived (degree arrays, forward
+  // adjacency); cache one per workload, rebuilt when the epoch moves.
+  struct CachedProg {
+    std::unique_ptr<FrontierProgram> prog;
+    const graph::DistGraph* dg = nullptr;
+    std::uint64_t epoch = 0;
+  };
+  std::array<CachedProg, 4> prog_cache;
+  const auto program_for = [&](ProgramWorkload w, const graph::DistGraph& dg,
+                               std::uint64_t epoch) -> const FrontierProgram& {
+    CachedProg& s = prog_cache[static_cast<std::size_t>(w)];
+    if (s.prog == nullptr || s.dg != &dg || s.epoch != epoch) {
+      s.prog = make_program(w, dg, fdc_.programs);
+      s.dg = &dg;
+      s.epoch = epoch;
+    }
+    return *s.prog;
+  };
+
+  // Dispatch one analytics query through run_program on replica `r`: the
+  // program owns the whole cluster for its duration, exports failover
+  // checkpoints like a wave, and an outage-aborted run becomes a program
+  // failover unit that resumes (or re-runs) on a healthy replica.
+  const auto launch_program = [&](int r, double start, std::size_t qi,
+                                  const ProgramCheckpoint* resume,
+                                  bool after_failover, PinnedGraph pg) {
+    auto& rs = reps[static_cast<std::size_t>(r)];
+    rt::Cluster& c = *replicas_[static_cast<std::size_t>(r)].cluster;
+    start += pg.pin_ns;
+    const graph::DistGraph& dg =
+        pg.graph != nullptr ? *pg.graph
+                            : *replicas_[static_cast<std::size_t>(r)].dg;
+    const Query& query = queries[qi];
+    const FrontierProgram& prog =
+        program_for(workload_of(query.kind), dg, pg.epoch);
+    ProgramState pstate(dg, cfg_, c.topo().nodes(), c.ppn(),
+                        prog.with_values());
+
+    ProgramOptions o;
+    o.epoch = pg.epoch;
+    o.max_levels = fdc_.programs.max_levels;
+    if (rs.outage_ns < inf) o.abort_at_ns = rs.outage_ns - start;
+    o.export_every = fdc_.export_every;
+    if (fdc_.checkpoint_waves) o.export_to = &rs.pckpt;
+    o.resume_from = resume;
+
+    obs::Tracer* tr = c.tracer();
+    if (tr != nullptr) tr->set_base_ns(start);
+    const ProgramResult res =
+        run_program(c, dg, pstate, prog,
+                    ProgramQuery{query.source, query.target}, o);
+    if (tr != nullptr) {
+      tr->set_base_ns(0);
+      tr->instant(tr->host_track(), obs::kCatEngine,
+                  after_failover ? "program.failover" : "program.dispatch",
+                  start,
+                  obs::kv("replica", r) + "," + obs::kv("query", query.id) +
+                      "," + obs::kv("workload", prog.name()));
+    }
+
+    ++rep.program_runs;
+    rep.levels += res.levels;
+    rep.recoveries += res.recoveries;
+    rep.ranks_lost = std::max(rep.ranks_lost, res.ranks_lost);
+    rep.busy_ns += res.total_ns;
+    rep.counters += res.profile_avg.counters();
+    rs.free_ns = start + res.total_ns;
+    end_ns = std::max(end_ns, rs.free_ns);
+    // Program runs deliberately do NOT feed the wave-time estimate: they
+    // run far longer than a wave, and counting them would make the
+    // admission policy shed interactive queries after every analytics job.
+
+    if (res.aborted) {
+      const double abort_abs = start + res.abort_ns;
+      rs.detect_ns = std::min(rs.detect_ns, abort_abs + fdc_.hb_backoff_ns);
+      Failover fo;
+      fo.is_program = true;
+      fo.idx.assign(1, qi);
+      fo.pckpt = std::move(rs.pckpt);
+      rs.pckpt = ProgramCheckpoint{};
+      fo.ready_ns = rs.detect_ns;
+      fo.abort_abs = abort_abs;
+      fo.pg = std::move(pg);
+      fo.pg.pin_ns = 0;  // the snapshot is already held; no re-pin charge
+      pending.push_back(std::move(fo));
+      return;
+    }
+
+    auto& sq = rep.results[qi];
+    sq.outcome = after_failover ? Outcome::failed_over : Outcome::served;
+    sq.replica = r;
+    sq.epoch = res.epoch;
+    sq.complete_ns = start + res.total_ns;
+    sq.complete_level = res.levels;
+    sq.value = res.value;
+    --unresolved;
+    end_ns = std::max(end_ns, sq.complete_ns);
+  };
+
   while (unresolved > 0) {
     admit(now);
 
@@ -448,7 +599,14 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
         ++rep.failovers;
         rep.failover_blip_ns =
             std::max(rep.failover_blip_ns, now - fo.abort_abs);
-        if (fo.ckpt.valid && fo.resume_mask != 0) {
+        if (fo.is_program) {
+          // One analytics query: resume from the exported program epoch
+          // when the dead replica managed to ship one, re-run otherwise.
+          const std::size_t qi = fo.idx.front();
+          if (rep.results[qi].outcome == Outcome::pending)
+            launch_program(r, now, qi, fo.pckpt.valid ? &fo.pckpt : nullptr,
+                           true, std::move(fo.pg));
+        } else if (fo.ckpt.valid && fo.resume_mask != 0) {
           launch(r, now, std::move(fo.batch), std::move(fo.idx), &fo.ckpt,
                  fo.resume_mask, true, std::move(fo.pg));
         } else {
@@ -473,12 +631,22 @@ FrontDoorReport FrontDoor::serve(std::span<const Query> queries) {
         continue;
       }
 
-      std::vector<WaveQuery> batch;
-      std::vector<std::size_t> idx;
-      form_batch(now, batch, idx);
-      if (batch.empty()) continue;  // everything degraded or shed
+      // The snapshot is pinned BEFORE the batch forms: degradation-cache
+      // lookups inside form_batch answer against the epoch this dispatch
+      // would serve, never against a stale labeling from an older snapshot.
       PinnedGraph pg;
       if (fdc_.graph_source) pg = fdc_.graph_source(now);
+      std::vector<WaveQuery> batch;
+      std::vector<std::size_t> idx;
+      const std::size_t pqi = form_batch(now, pg.epoch, batch, idx);
+      if (pqi != kNoQuery) {
+        launch_program(r, now, pqi, nullptr, false, std::move(pg));
+        last_dequeue = now;
+        admit(now);
+        launched = true;
+        continue;
+      }
+      if (batch.empty()) continue;  // everything degraded or shed
       launch(r, now, std::move(batch), std::move(idx), nullptr, 0, false,
              std::move(pg));
       last_dequeue = now;

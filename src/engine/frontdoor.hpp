@@ -50,7 +50,17 @@ namespace numabfs::engine {
 
 /// Priority classes, most- to least-critical. The shedding policy degrades
 /// strictly bottom-up: reachability first, then k-hop, never full-distance.
-enum class SloClass : int { full_distance = 0, k_hop, reachability, kCount };
+/// `analytics` (the program workloads: SSSP, PageRank, components,
+/// triangles) is a background class — it is never shed or degraded, but it
+/// only dispatches when no wave query is waiting, and each analytics query
+/// owns its whole dispatch (programs cannot share a wave's lanes).
+enum class SloClass : int {
+  full_distance = 0,
+  k_hop,
+  reachability,
+  analytics,
+  kCount
+};
 
 const char* to_string(SloClass c);
 SloClass slo_class_of(QueryKind k);
@@ -60,12 +70,16 @@ struct SloSpec {
   double full_ns = 80e6;
   double khop_ns = 20e6;
   double reach_ns = 10e6;
+  /// Background analytics objective — reporting only: analytics queries are
+  /// never shed or degraded against it.
+  double analytics_ns = 1e9;
 
   double deadline_ns(SloClass c) const {
     switch (c) {
       case SloClass::full_distance: return full_ns;
       case SloClass::k_hop: return khop_ns;
       case SloClass::reachability: return reach_ns;
+      case SloClass::analytics: return analytics_ns;
       case SloClass::kCount: break;
     }
     return full_ns;
@@ -94,6 +108,7 @@ struct FrontDoorConfig {
   bool checkpoint_waves = true; ///< export failover epochs (costs time)
   bool degrade = true;          ///< cached degraded answers (off: shed)
   int est_window = 8;           ///< trailing waves in the time estimate
+  ProgramParams programs;       ///< knobs of the analytics workloads
   /// Optional per-wave observer: (replica, batch, result, state) — the
   /// test hook for validating lane state in place before reuse.
   std::function<void(int, std::span<const WaveQuery>, const WaveResult&,
@@ -140,6 +155,8 @@ struct ServedQuery {
   int complete_level = 0;
   bool reached = false;
   std::uint64_t visited = 0;
+  /// Analytics (program) queries: the scalar answer. 0 for wave kinds.
+  double value = 0;
   bool slo_met = false;
 
   double latency_ns() const { return complete_ns - arrival_ns; }
@@ -164,6 +181,7 @@ struct FrontDoorReport {
   std::vector<ServedQuery> results;  ///< ordered by query id
   ClassStats cls[static_cast<int>(SloClass::kCount)];
   int waves = 0;
+  int program_runs = 0;   ///< singleton analytics dispatches (not waves)
   int levels = 0;
   int failovers = 0;      ///< resume/re-run dispatches after an abort
   int replicas_lost = 0;  ///< replicas confirmed down by the end

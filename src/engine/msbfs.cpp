@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "engine/exchange_core.hpp"
 #include "faults/errors.hpp"
 #include "graph/codec.hpp"
 #include "runtime/allgather.hpp"
@@ -23,6 +24,10 @@ const char* to_string(QueryKind k) {
     case QueryKind::full_distances: return "full";
     case QueryKind::st_reachability: return "st";
     case QueryKind::k_hop: return "khop";
+    case QueryKind::sssp: return "sssp";
+    case QueryKind::pagerank: return "pagerank";
+    case QueryKind::components: return "components";
+    case QueryKind::triangles: return "triangles";
   }
   return "?";
 }
@@ -288,11 +293,9 @@ void wave_exchange(rt::Proc& p, const graph::DistGraph& dg, WaveState& ws,
                    const bfs::UnitCosts& u, std::uint64_t active,
                    std::span<const int> parts) {
   rt::Cluster& c = *p.cluster;
-  const faults::FaultInjector* inj = c.injector();
   rt::Comm& world = c.world();
   const bfs::Config& cfg = ws.config();
   const int np = c.nranks();
-  const int ppn = c.ppn();
   const std::uint64_t block = dg.part.block();
   const sim::Phase phase = sim::Phase::bu_comm;
 
@@ -356,13 +359,16 @@ void wave_exchange(rt::Proc& p, const graph::DistGraph& dg, WaveState& ws,
   const std::uint64_t raw_chunk_bytes =
       presence_raw + sum_bytes + max_nnz * lane_bytes;
 
-  const bool degraded = inj != nullptr && inj->any_dead();
-  const bool acts_leader =
-      degraded ? p.local == inj->lowest_live_local(p.node) : p.is_node_leader();
-
-  const auto copy_block = [&](std::span<std::uint64_t> dst, int src_part) {
+  auto frontier = ws.frontier(p.rank);
+  auto in_s = ws.frontier_summary(p.rank);
+  // Merge of partition `src_part`'s out summary into the replica's frontier
+  // summary: a local group maps into at most two destination groups (when
+  // the granularity does not divide the block); mark() is atomic, so the
+  // parallel-subgroup path can merge disjoint blocks concurrently.
+  ExchangeHooks hooks;
+  hooks.copy_block = [&](int src_part) {
     auto src = ws.out(src_part);
-    std::memcpy(dst.data() + static_cast<std::uint64_t>(src_part) * block,
+    std::memcpy(frontier.data() + static_cast<std::uint64_t>(src_part) * block,
                 src.data(), block * 8);
     if (src_part == p.rank) return;  // own chunk: no transmission
     if (c.node_of(src_part) == p.node)
@@ -371,88 +377,24 @@ void wave_exchange(rt::Proc& p, const graph::DistGraph& dg, WaveState& ws,
       p.prof.counters().bytes_inter_node += chunk_bytes;
     p.prof.counters().bytes_raw_equiv += raw_chunk_bytes;
   };
-  // Merge partition `src_part`'s out summary into the replica's frontier
-  // summary. A local group maps into at most two destination groups (when
-  // the granularity does not divide the block); mark() is atomic, so the
-  // parallel-subgroup path can merge disjoint blocks concurrently.
-  const auto merge_summary = [&](graph::SummaryView dst, int src_part) {
+  hooks.reset_summary = [&] { in_s.bits().reset(); };
+  hooks.merge_summary = [&](int src_part) {
     auto src = ws.out_summary(src_part);
     const std::uint64_t base = static_cast<std::uint64_t>(src_part) * block;
     src.bits().for_each_set(0, src.size_bits(), [&](std::uint64_t b) {
       const std::uint64_t lo = base + b * g;
-      dst.mark(lo);
-      dst.mark(std::min(base + block, lo + g) - 1);
+      in_s.mark(lo);
+      in_s.mark(std::min(base + block, lo + g) - 1);
     });
   };
-  const std::uint64_t sum_words = (ws.summary_bits() + 63) / 64;
 
-  p.barrier(world, sim::Phase::stall);  // every partition's out words ready
-
-  cm::CollTimes qt;
-  auto frontier = ws.frontier(p.rank);
-  auto in_s = ws.frontier_summary(p.rank);
-  if (!ws.shared_frontier()) {
-    // Private replicas: library allgather over all np ranks.
-    if (cfg.base_algo == rt::AllgatherAlgo::flat_ring) {
-      qt = cm::flat_ring(c, chunk_bytes);
-    } else {
-      const bool rd = cfg.base_algo == rt::AllgatherAlgo::leader_rd;
-      qt = cm::leader_allgather(c, chunk_bytes, true, true, 1, rd);
-    }
-    for (int r = 0; r < np; ++r) copy_block(frontier, r);
-    in_s.bits().reset();
-    for (int r = 0; r < np; ++r) merge_summary(in_s, r);
-    p.charge(phase, u.stream_pass_ns(sum_words));
-  } else if (!cfg.parallel_allgather || degraded) {
-    // Node-shared frontier: the broadcast step is gone; sharing the out
-    // slabs too (Sharing::all) drops the gather step as well.
-    const bool with_gather = cfg.sharing != bfs::Sharing::all;
-    qt = cm::leader_allgather(c, chunk_bytes, with_gather, false, 1);
-    if (acts_leader) {
-      for (int r = 0; r < np; ++r) copy_block(frontier, r);
-      in_s.bits().reset();
-      for (int r = 0; r < np; ++r) merge_summary(in_s, r);
-      p.charge(phase, u.stream_pass_ns(sum_words));
-    }
-  } else {
-    // Parallel subgroups (Fig. 7): each color assembles its slice of every
-    // node chunk in place; blocks are word-disjoint, so no atomics needed.
-    // The shared summary needs one wipe before the colors' atomic merges.
-    qt = cm::leader_allgather(c, chunk_bytes, false, false, ppn);
-    rt::Comm& node = c.node_comm(p.node);
-    if (p.is_node_leader()) {
-      in_s.bits().reset();
-      p.charge(phase, u.stream_pass_ns(sum_words));
-    }
-    p.barrier(node, sim::Phase::stall);  // wipe lands before the merges
-    for (int m = 0; m < c.topo().nodes(); ++m) {
-      copy_block(frontier, m * ppn + p.local);
-      merge_summary(in_s, m * ppn + p.local);
-    }
-  }
-
-  double total_ns = qt.total_ns;
-  if (inj != nullptr) {
-    // A degraded fabric stretches the inter-node stage.
-    const double lf = inj->min_link_factor(p.clock.now_ns());
-    total_ns += qt.inter_ns * (1.0 / lf - 1.0);
-  }
-  if (presence_coded) {
-    // Chunk-pipelined overlap of the presence-bitmap decode with the wire
-    // (coll_model::pipelined2_ns), as in the hybrid exchange.
-    const bool par_plan =
-        ws.shared_frontier() && cfg.parallel_allgather && !degraded;
-    const std::uint64_t dec_chunks =
-        par_plan ? static_cast<std::uint64_t>(c.topo().nodes())
-                 : static_cast<std::uint64_t>(np);
-    const double dec_ns = u.stream_pass_ns(dec_chunks * ((block + 63) / 64));
-    const double seq_ns = total_ns + dec_ns;
-    total_ns = cm::pipelined2_ns(total_ns, dec_ns,
-                                 std::max(1, cfg.exchange_chunks));
-    p.prof.add_overlap_saved(seq_ns - total_ns);
-  }
-  p.charge(phase, total_ns);
-  p.barrier(world, phase);  // the collective completes together
+  ExchangeShape shape;
+  shape.chunk_bytes = chunk_bytes;
+  shape.sum_words = (ws.summary_bits() + 63) / 64;
+  shape.shared = ws.shared_frontier();
+  shape.presence_coded = presence_coded;
+  shape.decode_words = (block + 63) / 64;
+  run_exchange_plan(p, cfg, u, phase, shape, hooks);
   p.trace_instant(obs::kCatEngine, "wave.exchange",
                   obs::kv("chunk_bytes", chunk_bytes) + "," +
                       obs::kv("raw_bytes", raw_chunk_bytes) + "," +
@@ -566,6 +508,9 @@ WaveResult run_wave(rt::Cluster& c, const graph::DistGraph& dg, WaveState& ws,
   if (nq < 1 || nq > kMaxLanes)
     throw std::invalid_argument("run_wave: batch must have 1..64 queries");
   for (const WaveQuery& q : queries) {
+    if (is_program_kind(q.kind))
+      throw std::invalid_argument(
+          "run_wave: program workloads go through run_program, not a wave");
     if (q.source >= dg.n ||
         (q.kind == QueryKind::st_reachability && q.target >= dg.n))
       throw std::invalid_argument("run_wave: query vertex out of range");

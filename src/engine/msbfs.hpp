@@ -63,9 +63,19 @@ enum class QueryKind {
   full_distances,   ///< distances (+ parents) to the whole component
   st_reachability,  ///< is `target` reachable from `source`? (early exit)
   k_hop,            ///< the vertices within k hops of `source`
+  // Frontier-program workloads (fprog.hpp). These never ride a BFS wave:
+  // the serving tier dispatches each through run_program() as a singleton.
+  sssp,             ///< delta-stepping shortest path, dist(source -> target)
+  pagerank,         ///< residual push/pull PageRank, rank(source)
+  components,       ///< min-label connected components, component count
+  triangles,        ///< exact triangle count
 };
 
 const char* to_string(QueryKind k);
+
+/// Whether `k` is a frontier-program workload (run_program) rather than a
+/// wave lane kind (run_wave). run_wave rejects program kinds.
+inline bool is_program_kind(QueryKind k) { return k >= QueryKind::sssp; }
 
 /// One lane of a wave.
 struct WaveQuery {

@@ -1,0 +1,113 @@
+#include "graph/reference_algos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+namespace numabfs::graph {
+
+std::vector<std::uint64_t> ref_sssp(const Csr& g, const EdgeWeights& w,
+                                    Vertex source) {
+  std::vector<std::uint64_t> dist(g.num_vertices(), kInfDist);
+  using Item = std::pair<std::uint64_t, Vertex>;  // (dist, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;  // stale entry
+    for (Vertex v : g.neighbors(u)) {
+      const std::uint64_t nd = d + w(u, v);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> ref_pagerank(const Csr& g, double damping, double tol,
+                                 int max_iters) {
+  const std::uint64_t n = g.num_vertices();
+  std::vector<double> p(n, 1.0), next(n, 0.0);
+  for (int it = 0; it < max_iters; ++it) {
+    std::fill(next.begin(), next.end(), 1.0 - damping);
+    for (Vertex u = 0; u < n; ++u) {
+      const std::uint64_t deg = g.degree(u);
+      if (deg == 0) continue;  // dangling: teleport mass only
+      const double share = damping * p[u] / static_cast<double>(deg);
+      for (Vertex v : g.neighbors(u)) next[v] += share;
+    }
+    double step = 0.0;
+    for (std::uint64_t v = 0; v < n; ++v)
+      step = std::max(step, std::abs(next[v] - p[v]));
+    p.swap(next);
+    if (step < tol) break;
+  }
+  return p;
+}
+
+std::vector<std::uint64_t> ref_components(const Csr& g) {
+  const std::uint64_t n = g.num_vertices();
+  std::vector<std::uint64_t> label(n, kInfDist);
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < n; ++s) {
+    if (label[s] != kInfDist) continue;
+    // s is the smallest unvisited id, hence its component's minimum.
+    label[s] = s;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex u = stack.back();
+      stack.pop_back();
+      for (Vertex v : g.neighbors(u)) {
+        if (label[v] != kInfDist) continue;
+        label[v] = s;
+        stack.push_back(v);
+      }
+    }
+  }
+  return label;
+}
+
+std::uint64_t ref_triangles(const Csr& g) {
+  const std::uint64_t n = g.num_vertices();
+  // Forward adjacency: sorted, deduplicated neighbors greater than the
+  // vertex. Every triangle u < v < w is then counted exactly once, at u.
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  std::vector<Vertex> fwd;
+  std::vector<Vertex> row;
+  for (Vertex v = 0; v < n; ++v) {
+    row.clear();
+    for (Vertex u : g.neighbors(v))
+      if (u > v) row.push_back(u);
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    fwd.insert(fwd.end(), row.begin(), row.end());
+    offsets[v + 1] = fwd.size();
+  }
+  std::uint64_t count = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const Vertex u = fwd[i];
+      // |fwd(v) ∩ fwd(u)| by sorted merge.
+      std::uint64_t a = offsets[v], b = offsets[u];
+      while (a < offsets[v + 1] && b < offsets[u + 1]) {
+        if (fwd[a] < fwd[b]) {
+          ++a;
+        } else if (fwd[b] < fwd[a]) {
+          ++b;
+        } else {
+          ++count;
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace numabfs::graph

@@ -1,0 +1,43 @@
+#pragma once
+/// \file reference_algos.hpp
+/// Single-rank reference implementations of the vertex-program workloads
+/// (DESIGN.md §16). Each runs on the full Csr with textbook data structures
+/// and no simulation, producing the ground truth the distributed frontier
+/// programs validate against:
+///  - SSSP: binary-heap Dijkstra over the hashed edge weights;
+///  - PageRank: dense power iteration (uniform teleport, dangling mass
+///    dropped — the same policy the residual-push program applies);
+///  - connected components: BFS sweep labelling each component with its
+///    minimum vertex id (the fixpoint label propagation converges to);
+///  - triangles: sorted-adjacency merge intersection over the deduplicated
+///    undirected edge set.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/weights.hpp"
+
+namespace numabfs::graph {
+
+inline constexpr std::uint64_t kInfDist = ~0ull;
+
+/// Dijkstra distances from `source`; unreachable vertices hold kInfDist.
+std::vector<std::uint64_t> ref_sssp(const Csr& g, const EdgeWeights& w,
+                                    Vertex source);
+
+/// Unnormalized PageRank (p sums to ~n on dangling-free graphs):
+/// p(v) = (1-d) + d * sum_{u in N(v)} p(u)/deg(u), iterated until the
+/// largest per-vertex step falls below `tol`. Degree-0 vertices keep their
+/// teleport mass and spread nothing.
+std::vector<double> ref_pagerank(const Csr& g, double damping, double tol,
+                                 int max_iters = 10000);
+
+/// Per-vertex component label = the minimum vertex id in its component.
+std::vector<std::uint64_t> ref_components(const Csr& g);
+
+/// Exact global triangle count (each triangle counted once; parallel edges
+/// and self-loops do not create extra triangles).
+std::uint64_t ref_triangles(const Csr& g);
+
+}  // namespace numabfs::graph

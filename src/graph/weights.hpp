@@ -1,0 +1,35 @@
+#pragma once
+/// \file weights.hpp
+/// Deterministic edge weights for the weighted workloads (SSSP). The
+/// simulator's graphs are unweighted CSRs; rather than storing (and
+/// exchanging) a parallel weight array, each undirected edge {u, v} hashes
+/// to a weight in [1, max_weight] via splitmix64 over the unordered pair:
+///  - both directions of the edge agree (the pair is canonicalized),
+///  - every rank computes the same weight with no storage or traffic,
+///  - the whole weight assignment is reproducible from the seed alone,
+/// so the distributed relaxations and the single-rank Dijkstra reference
+/// see the identical weighted graph by construction.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "graph/rmat.hpp"
+#include "graph/types.hpp"
+
+namespace numabfs::graph {
+
+struct EdgeWeights {
+  std::uint64_t seed = 0x57455447u;  ///< any value; part of the graph identity
+  std::uint32_t max_weight = 15;     ///< weights are uniform on [1, max_weight]
+
+  /// Weight of undirected edge {u, v}. Requires vertex ids < 2^32 (every
+  /// supported scale); the canonical pair packs into one hash key.
+  std::uint64_t operator()(Vertex u, Vertex v) const {
+    const std::uint64_t lo = std::min(u, v);
+    const std::uint64_t hi = std::max(u, v);
+    const std::uint64_t h = splitmix64(seed ^ (lo << 32 | hi));
+    return 1 + h % std::max<std::uint32_t>(1, max_weight);
+  }
+};
+
+}  // namespace numabfs::graph

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "bfs/state.hpp"
@@ -141,11 +142,18 @@ Experiment::run_validated(const bfs::Config& cfg, graph::Vertex root) {
 
 double harmonic_mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
-  double inv = 0.0;
   for (double x : xs) {
-    if (x <= 0.0) return 0.0;
-    inv += 1.0 / x;
+    // A zero, negative or non-finite TEPS sample means the run it came
+    // from produced no valid figure of merit; the harmonic mean of the
+    // series is then undefined. NaN-mark the aggregate (the same policy
+    // mean/percentile apply to per-sample gaps) instead of returning 0.0,
+    // which a dashboard would read as a real measurement, or dividing by
+    // zero on a 1/x term.
+    if (!std::isfinite(x) || x <= 0.0)
+      return std::numeric_limits<double>::quiet_NaN();
   }
+  double inv = 0.0;
+  for (double x : xs) inv += 1.0 / x;
   return static_cast<double>(xs.size()) / inv;
 }
 

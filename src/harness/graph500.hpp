@@ -87,7 +87,10 @@ class Experiment {
   graph::DistGraph dist_;
 };
 
-/// Harmonic mean (the Graph500 aggregation for TEPS).
+/// Harmonic mean (the Graph500 aggregation for TEPS). A zero, negative or
+/// non-finite sample NaN-marks the aggregate — the series contains an
+/// invalid measurement, so the mean is undefined rather than 0. Empty
+/// input returns 0 (no series at all).
 double harmonic_mean(const std::vector<double>& xs);
 
 /// Arithmetic mean over the finite entries; non-finite values (NaN marks a

@@ -349,6 +349,9 @@ const ProfileEntry* TunedProfile::nearest(const ShapeKey& k) const {
     double d = std::log2(a < 1 ? 1 : a) - std::log2(b < 1 ? 1 : b);
     return d * d;
   };
+  // Equidistant entries resolve by shape_less (the documented total order
+  // on ShapeKey), never by entry order — two profiles holding the same
+  // entries in a different order must pick the same configuration.
   for (const ProfileEntry& e : entries) {
     // Cluster shape dominates graph shape: the knobs that matter most
     // (allgather algo, sharing, ppn interplay) track nodes x ppn.
@@ -356,7 +359,8 @@ const ProfileEntry* TunedProfile::nearest(const ShapeKey& k) const {
                2.0 * l2(e.shape.ppn, k.ppn) +
                l2(e.shape.scale, k.scale) +
                l2(e.shape.edgefactor, k.edgefactor);
-    if (!best || d < best_d) {
+    if (!best || d < best_d ||
+        (d == best_d && shape_less(e.shape, best->shape))) {
       best = &e;
       best_d = d;
     }

@@ -36,6 +36,17 @@ struct ShapeKey {
   bool operator==(const ShapeKey&) const = default;
 };
 
+/// The total order nearest() breaks distance ties with: lexicographic on
+/// (nodes, ppn, scale, edgefactor) — the same dominance order as the
+/// distance weights, smallest shape first. Ties therefore resolve to the
+/// same entry no matter how the profile's entry list is ordered.
+inline bool shape_less(const ShapeKey& a, const ShapeKey& b) {
+  if (a.nodes != b.nodes) return a.nodes < b.nodes;
+  if (a.ppn != b.ppn) return a.ppn < b.ppn;
+  if (a.scale != b.scale) return a.scale < b.scale;
+  return a.edgefactor < b.edgefactor;
+}
+
 /// One tuned operating point.
 struct ProfileEntry {
   ShapeKey shape;
@@ -54,7 +65,9 @@ struct TunedProfile {
   /// Exact shape match (first wins), or nullptr.
   const ProfileEntry* find(const ShapeKey& k) const;
   /// Exact match if present, else the entry minimizing a weighted log-space
-  /// shape distance; nullptr only when the profile is empty.
+  /// shape distance; nullptr only when the profile is empty. Equidistant
+  /// entries resolve deterministically by shape_less (smallest shape wins),
+  /// independent of the order entries appear in the profile.
   const ProfileEntry* nearest(const ShapeKey& k) const;
 
   std::string json() const;

@@ -16,7 +16,9 @@
 #include "engine/frontdoor.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
+#include "graph/reference_algos.hpp"
 #include "graph/reference_bfs.hpp"
+#include "graph/weights.hpp"
 #include "harness/graph500.hpp"
 
 namespace numabfs::engine {
@@ -397,6 +399,173 @@ TEST(FrontDoorServe, AllReplicasDownMarksRemainderLost) {
   }
   EXPECT_DOUBLE_EQ(rep.shed_rate, 1.0);
   EXPECT_EQ(rep.replicas_lost, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation cache vs the dynamic-graph epoch
+// ---------------------------------------------------------------------------
+
+TEST(FrontDoorServe, CachedDegradedAnswersDieWithTheirEpoch) {
+  const GraphBundle b = GraphBundle::make(10, 16, 9, 16);
+  Experiment ex(b, shape(2, 2));
+  const graph::Vertex root = b.roots[0];
+
+  // A graph source serving the same snapshot content under a controllable
+  // epoch stamp: epoch 1 until t = 5e8, then (optionally) epoch 2. The
+  // full-distance BFS at t=0 populates the degradation cache under epoch 1;
+  // the k-hop at t=1e9 pins whatever the source says *then*.
+  const auto run = [&](bool advance) {
+    FrontDoorConfig fdc;
+    fdc.slo.khop_ns = 1.0;  // k-hop can never ride a wave: degrade or shed
+    std::shared_ptr<const graph::DistGraph> alias(std::shared_ptr<void>(),
+                                                  &ex.dist());
+    fdc.graph_source = [&, alias, advance](double now) {
+      PinnedGraph pg;
+      pg.epoch = advance && now > 5e8 ? 2 : 1;
+      pg.graph = alias;
+      return pg;
+    };
+    FrontDoor door(bfs::share_all(), fdc, {{&ex.cluster(), &ex.dist()}});
+    std::vector<Query> qs;
+    qs.push_back(make_query(0, QueryKind::full_distances, root, 0.0));
+    qs.push_back(make_query(1, QueryKind::k_hop, root, 1e9, 0, 2));
+    return door.serve(qs);
+  };
+
+  // Control: the epoch holds still, so the cached labeling is valid and the
+  // late k-hop is answered exactly from it.
+  const FrontDoorReport same = run(false);
+  ASSERT_EQ(same.results[0].outcome, Outcome::served);
+  EXPECT_EQ(same.results[0].epoch, 1u);
+  ASSERT_EQ(same.results[1].outcome, Outcome::degraded);
+
+  // Regression (the staleness bug): once the serving epoch moves past the
+  // cached labeling, the cache must refuse — shed, never a stale answer.
+  const FrontDoorReport moved = run(true);
+  ASSERT_EQ(moved.results[0].outcome, Outcome::served);
+  EXPECT_EQ(moved.results[0].epoch, 1u);
+  EXPECT_EQ(moved.results[1].outcome, Outcome::shed);
+}
+
+// ---------------------------------------------------------------------------
+// Analytics: background program dispatches
+// ---------------------------------------------------------------------------
+
+TEST(FrontDoorServe, AnalyticsIsBackgroundNeverShedAndExact) {
+  const GraphBundle b = GraphBundle::make(10, 16, 6, 16);
+  Experiment ex(b, shape(2, 2));
+  FrontDoorConfig fdc;
+  fdc.max_batch = 8;
+  // Impossible deadlines for every class: interactive k-hop/reachability
+  // degrade or shed, but analytics never does — it is background work with
+  // a reporting-only objective.
+  fdc.slo.khop_ns = 1.0;
+  fdc.slo.reach_ns = 1.0;
+  fdc.slo.analytics_ns = 1.0;
+  FrontDoor door(bfs::share_all(), fdc, {{&ex.cluster(), &ex.dist()}});
+
+  WorkloadSpec s;
+  s.num_queries = 32;
+  s.seed = 19;
+  s.mean_interarrival_ns = 2e5;
+  s.st_fraction = 0.15;
+  s.khop_fraction = 0.15;
+  s.sssp_fraction = 0.15;
+  s.pagerank_fraction = 0.1;
+  s.components_fraction = 0.1;
+  s.triangles_fraction = 0.1;
+  const auto qs = QueryEngine::generate(ex.dist(), s);
+  const FrontDoorReport rep = door.serve(qs);
+
+  const auto comp_ref = graph::ref_components(b.csr);
+  std::uint64_t ncomp = 0;
+  for (std::size_t v = 0; v < comp_ref.size(); ++v) ncomp += comp_ref[v] == v;
+
+  int programs = 0;
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    if (!is_program_kind(qs[i].kind)) continue;
+    ++programs;
+    const ServedQuery& r = rep.results[i];
+    EXPECT_EQ(r.cls, SloClass::analytics);
+    EXPECT_EQ(r.outcome, Outcome::served);
+    EXPECT_GE(r.replica, 0);
+    switch (qs[i].kind) {
+      case QueryKind::sssp: {
+        const auto ref = graph::ref_sssp(
+            b.csr, graph::EdgeWeights{fdc.programs.weight_seed,
+                                      fdc.programs.sssp_max_weight},
+            qs[i].source);
+        ASSERT_NE(ref[qs[i].target], graph::kInfDist);
+        EXPECT_EQ(r.value, static_cast<double>(ref[qs[i].target]));
+        break;
+      }
+      case QueryKind::pagerank:
+        EXPECT_GT(r.value, 0.0);
+        break;
+      case QueryKind::components:
+        EXPECT_EQ(r.value, static_cast<double>(ncomp));
+        break;
+      case QueryKind::triangles:
+        EXPECT_EQ(r.value, static_cast<double>(graph::ref_triangles(b.csr)));
+        break;
+      default:
+        FAIL();
+    }
+  }
+  ASSERT_GT(programs, 0);
+  EXPECT_EQ(rep.program_runs, programs);
+  const auto& cs = rep.cls[static_cast<int>(SloClass::analytics)];
+  EXPECT_EQ(cs.submitted, programs);
+  EXPECT_EQ(cs.served, programs);
+  EXPECT_EQ(cs.shed, 0);
+  EXPECT_EQ(cs.degraded, 0);
+  // The interactive classes did feel the impossible deadlines.
+  EXPECT_GT(rep.shed + rep.degraded, 0);
+}
+
+TEST(FrontDoorServe, AnalyticsFailsOverMidProgramAndStaysExact) {
+  const GraphBundle b = GraphBundle::make(10, 16, 7, 16);
+  Experiment ex0(b, shape(2, 2)), ex1(b, shape(2, 2));
+
+  const auto run = [&](double outage_ns) {
+    attach_plan(ex0.cluster(), "seed:3,outage:at=" + std::to_string(outage_ns));
+    ex1.cluster().set_fault_injector(nullptr);
+    FrontDoorConfig fdc;
+    FrontDoor door(
+        bfs::share_all(), fdc,
+        {{&ex0.cluster(), &ex0.dist()}, {&ex1.cluster(), &ex1.dist()}});
+    std::vector<Query> qs;
+    qs.push_back(make_query(0, QueryKind::components, 0, 0.0));
+    return door.serve(qs);
+  };
+
+  // Clean run (outage far in the future) to place the mid-program outage
+  // and pin the ground-truth answer.
+  const FrontDoorReport clean = run(1e30);
+  ASSERT_EQ(clean.failovers, 0);
+  ASSERT_EQ(clean.results[0].outcome, Outcome::served);
+  const auto comp_ref = graph::ref_components(b.csr);
+  std::uint64_t ncomp = 0;
+  for (std::size_t v = 0; v < comp_ref.size(); ++v) ncomp += comp_ref[v] == v;
+  ASSERT_EQ(clean.results[0].value, static_cast<double>(ncomp));
+
+  const double outage = 0.5 * clean.results[0].complete_ns;
+  const FrontDoorReport r1 = run(outage);
+  EXPECT_GE(r1.failovers, 1);
+  EXPECT_EQ(r1.replicas_lost, 1);
+  EXPECT_GT(r1.failover_blip_ns, 0.0);
+  ASSERT_EQ(r1.results[0].outcome, Outcome::failed_over);
+  EXPECT_EQ(r1.results[0].replica, 1);  // completed on the survivor
+  EXPECT_EQ(r1.results[0].value, static_cast<double>(ncomp));
+  // The blip costs virtual time, never the answer.
+  EXPECT_GT(r1.results[0].complete_ns, clean.results[0].complete_ns);
+
+  // Bit-deterministic, like everything else in the tier.
+  const FrontDoorReport r2 = run(outage);
+  EXPECT_EQ(r1.total_ns, r2.total_ns);
+  EXPECT_EQ(r1.failover_blip_ns, r2.failover_blip_ns);
+  EXPECT_EQ(r1.results[0].complete_ns, r2.results[0].complete_ns);
+  EXPECT_EQ(r1.results[0].value, r2.results[0].value);
 }
 
 }  // namespace

@@ -18,8 +18,23 @@ TEST(HarmonicMean, Basics) {
   // Harmonic mean is dominated by the slowest iteration.
   EXPECT_NEAR(harmonic_mean({1.0, 100.0}), 1.98, 0.01);
   EXPECT_DOUBLE_EQ(harmonic_mean({}), 0.0);
-  EXPECT_DOUBLE_EQ(harmonic_mean({0.0, 5.0}), 0.0);
   EXPECT_LE(harmonic_mean({3.0, 6.0}), (3.0 + 6.0) / 2.0);  // HM <= AM
+}
+
+TEST(HarmonicMean, InvalidSampleNaNMarksTheAggregate) {
+  // A zero/negative/non-finite TEPS sample means one run produced no valid
+  // figure of merit: the series aggregate is undefined, and reporting 0.0
+  // (or an Inf-driven value) would read as a real measurement downstream.
+  // NaN-mark instead — the same policy mean()/percentile() apply per-sample.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isnan(harmonic_mean({0.0, 5.0})));
+  EXPECT_TRUE(std::isnan(harmonic_mean({-1.0, 5.0})));
+  EXPECT_TRUE(std::isnan(harmonic_mean({nan, 5.0})));
+  EXPECT_TRUE(std::isnan(harmonic_mean({inf, 5.0})));
+  EXPECT_TRUE(std::isnan(harmonic_mean({0.0})));
+  // Valid series are unaffected.
+  EXPECT_DOUBLE_EQ(harmonic_mean({2.0, 2.0}), 2.0);
 }
 
 TEST(Mean, Basics) {

@@ -15,7 +15,9 @@
 #include "engine/engine.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
+#include "graph/reference_algos.hpp"
 #include "graph/reference_bfs.hpp"
+#include "graph/weights.hpp"
 #include "harness/graph500.hpp"
 
 namespace numabfs::engine {
@@ -269,6 +271,160 @@ TEST(QueryEngineServe, SurvivesCrashesWithReproducibleLatencies) {
   EXPECT_LT(rc.total_ns, r1.total_ns);
   for (std::size_t i = 0; i < qs.size(); ++i)
     EXPECT_EQ(rc.results[i].visited, r1.results[i].visited);
+}
+
+// ---------------------------------------------------------------------------
+// Program workloads as first-class query kinds
+// ---------------------------------------------------------------------------
+
+WorkloadSpec mixed_spec(int n, std::uint64_t seed) {
+  WorkloadSpec s = spec_of(n, seed, 2e5);
+  s.st_fraction = 0.15;
+  s.khop_fraction = 0.15;
+  s.sssp_fraction = 0.15;
+  s.pagerank_fraction = 0.1;
+  s.components_fraction = 0.1;
+  s.triangles_fraction = 0.1;
+  return s;
+}
+
+TEST(Workload, GeneratesProgramKindsDeterministically) {
+  const GraphBundle b = GraphBundle::make(10, 16, 2, 8);
+  Experiment ex(b, shape(1, 2));
+  const WorkloadSpec s = mixed_spec(96, 23);
+  const auto a = QueryEngine::generate(ex.dist(), s);
+  const auto c = QueryEngine::generate(ex.dist(), s);
+  ASSERT_EQ(a.size(), 96u);
+
+  int count[8] = {};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, c[i].kind);
+    EXPECT_EQ(a[i].source, c[i].source);
+    EXPECT_EQ(a[i].target, c[i].target);
+    ++count[static_cast<int>(a[i].kind)];
+    if (a[i].kind == QueryKind::sssp) {
+      EXPECT_GT(b.csr.degree(a[i].source), 0u);
+      EXPECT_GT(b.csr.degree(a[i].target), 0u);
+    }
+    if (a[i].kind == QueryKind::pagerank) {
+      EXPECT_GT(b.csr.degree(a[i].source), 0u);
+    }
+  }
+  for (QueryKind k : {QueryKind::sssp, QueryKind::pagerank,
+                      QueryKind::components, QueryKind::triangles})
+    EXPECT_GT(count[static_cast<int>(k)], 0) << to_string(k);
+
+  WorkloadSpec bad = s;
+  bad.sssp_fraction = 0.5;  // fractions now exceed 1
+  EXPECT_THROW(QueryEngine::generate(ex.dist(), bad), std::invalid_argument);
+}
+
+TEST(QueryEngineServe, ProgramQueriesRunAsSingletonsWithExactValues) {
+  const GraphBundle b = GraphBundle::make(10, 16, 6, 16);
+  Experiment ex(b, shape(2, 2));
+  EngineConfig ec;
+  ec.max_batch = 8;
+  int sink_calls = 0;
+  ec.program_sink = [&](const Query& q, const ProgramResult& res,
+                        ProgramState& ps) {
+    ++sink_calls;
+    EXPECT_TRUE(res.converged);
+    if (q.kind == QueryKind::components) {
+      // The sink can read full value arrays before the state is torn down.
+      const auto labels = gather_values(ex.dist(), ps);
+      const auto ref = graph::ref_components(b.csr);
+      ASSERT_EQ(labels.size(), ref.size());
+      for (std::size_t v = 0; v < ref.size(); ++v) EXPECT_EQ(labels[v], ref[v]);
+    }
+  };
+  QueryEngine eng(ex.cluster(), ex.dist(), bfs::share_all(), ec);
+  const auto qs = QueryEngine::generate(ex.dist(), mixed_spec(40, 19));
+  const EngineReport rep = eng.serve(qs);
+
+  int programs = 0;
+  const auto comp_ref = graph::ref_components(b.csr);
+  std::uint64_t ncomp = 0;
+  for (std::size_t v = 0; v < comp_ref.size(); ++v) ncomp += comp_ref[v] == v;
+
+  ASSERT_EQ(rep.results.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const QueryResult& r = rep.results[i];
+    if (!is_program_kind(qs[i].kind)) {
+      EXPECT_GE(r.wave, 0);
+      continue;
+    }
+    ++programs;
+    EXPECT_EQ(r.wave, -1);  // singleton dispatch, not a wave rider
+    EXPECT_GT(r.complete_level, 0);
+    EXPECT_GT(r.complete_ns, r.start_ns);
+    switch (qs[i].kind) {
+      case QueryKind::sssp: {
+        const auto ref = graph::ref_sssp(
+            b.csr, graph::EdgeWeights{ec.programs.weight_seed,
+                                      ec.programs.sssp_max_weight},
+            qs[i].source);
+        ASSERT_NE(ref[qs[i].target], graph::kInfDist);
+        EXPECT_EQ(r.value, static_cast<double>(ref[qs[i].target]));
+        break;
+      }
+      case QueryKind::pagerank:
+        EXPECT_GT(r.value, 0.0);  // rank >= teleport mass
+        break;
+      case QueryKind::components:
+        EXPECT_EQ(r.value, static_cast<double>(ncomp));
+        break;
+      case QueryKind::triangles:
+        EXPECT_EQ(r.value, static_cast<double>(graph::ref_triangles(b.csr)));
+        break;
+      default:
+        FAIL();
+    }
+  }
+  EXPECT_GT(programs, 0);
+  EXPECT_EQ(rep.program_runs, programs);
+  EXPECT_EQ(sink_calls, programs);
+  // FIFO is preserved across the wave/program boundary: dispatch order
+  // follows admission order.
+  for (std::size_t i = 1; i < rep.results.size(); ++i)
+    EXPECT_GE(rep.results[i].start_ns, rep.results[i - 1].start_ns)
+        << "FIFO violated at query " << i;
+}
+
+TEST(QueryEngineServe, MixedProgramWorkloadSurvivesChaosReproducibly) {
+  const GraphBundle b = GraphBundle::make(10, 16, 8, 16);
+  Experiment ex(b, shape(2, 2));
+  const auto plan =
+      faults::FaultPlan::parse("seed:4,crash:rank=1@level=2,drop:prob=0.2");
+  ex.cluster().set_fault_injector(std::make_shared<faults::FaultInjector>(
+      plan, ex.cluster().nranks(), ex.cluster().ppn()));
+
+  EngineConfig ec;
+  ec.max_batch = 8;
+  QueryEngine e1(ex.cluster(), ex.dist(), bfs::share_all(), ec);
+  const auto qs = QueryEngine::generate(ex.dist(), mixed_spec(24, 31));
+  const EngineReport r1 = e1.serve(qs);
+  EXPECT_GT(r1.program_runs, 0);
+  EXPECT_EQ(r1.ranks_lost, 1);
+  EXPECT_GE(r1.recoveries, 1);
+
+  QueryEngine e2(ex.cluster(), ex.dist(), bfs::share_all(), ec);
+  const EngineReport r2 = e2.serve(qs);
+  EXPECT_EQ(r1.total_ns, r2.total_ns);
+  for (std::size_t i = 0; i < r1.results.size(); ++i) {
+    EXPECT_EQ(r1.results[i].complete_ns, r2.results[i].complete_ns);
+    EXPECT_EQ(r1.results[i].value, r2.results[i].value);
+  }
+
+  // Chaos never changes answers, only timing: a clean serve of the same
+  // workload produces identical program values.
+  ex.cluster().set_fault_injector(nullptr);
+  QueryEngine clean(ex.cluster(), ex.dist(), bfs::share_all(), ec);
+  const EngineReport rc = clean.serve(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    if (is_program_kind(qs[i].kind)) {
+      EXPECT_EQ(rc.results[i].value, r1.results[i].value);
+    }
+  }
 }
 
 }  // namespace

@@ -241,6 +241,31 @@ TEST(TunedProfile, NearestPrefersClusterShape) {
   EXPECT_EQ(tune::TunedProfile{}.nearest({13, 16, 2, 2}), nullptr);
 }
 
+TEST(TunedProfile, NearestBreaksDistanceTiesByShapeOrder) {
+  // Two entries equidistant from the query (symmetric in log2 space around
+  // it) must resolve by the documented ShapeKey total order — lexicographic
+  // (nodes, ppn, scale, edgefactor), smallest first — not by the order the
+  // entries happen to appear in the profile.
+  tune::ProfileEntry lo = sample_entry();
+  lo.shape = {15, 16, 2, 4};  // nodes one halving below the query
+  lo.objective = "lo";
+  tune::ProfileEntry hi = sample_entry();
+  hi.shape = {15, 16, 8, 4};  // nodes one doubling above: same log2 distance
+  hi.objective = "hi";
+  const tune::ShapeKey q{15, 16, 4, 4};
+
+  tune::TunedProfile fwd, rev;
+  fwd.entries = {lo, hi};
+  rev.entries = {hi, lo};
+  ASSERT_NE(fwd.nearest(q), nullptr);
+  // shape_less orders on nodes first: {.., 2, 4} < {.., 8, 4}.
+  EXPECT_EQ(fwd.nearest(q)->objective, "lo");
+  EXPECT_EQ(rev.nearest(q)->objective, "lo");
+  EXPECT_TRUE(tune::shape_less(lo.shape, hi.shape));
+  EXPECT_FALSE(tune::shape_less(hi.shape, lo.shape));
+  EXPECT_FALSE(tune::shape_less(lo.shape, lo.shape));
+}
+
 TEST(TunedProfile, FileRoundTrip) {
   tune::TunedProfile p;
   p.entries.push_back(sample_entry());
